@@ -1,0 +1,31 @@
+//! # spttn-cost
+//!
+//! Cost models and search algorithms for SpTTN loop nests (paper
+//! Sec. 4):
+//!
+//! - [`TreeCost`]: tree-separable cost functions `(φ, ⊕)` — Def. 4.4.
+//! - [`MaxBufferDim`] / [`MaxBufferSize`]: Def. 4.5 buffer metrics.
+//! - [`CacheMiss`]: Def. 4.6 cache-miss model.
+//! - [`BlasAware`]: the Sec. 5 evaluation metric (max independent dense
+//!   loops under a buffer-dimension bound).
+//! - [`optimal_order`]: Algorithm 1 — `O(N³·2^m·m)` dynamic program.
+//! - [`exhaustive_search`] / [`all_nest_costs`]: the factorial-size
+//!   enumeration, for autotuning and cross-checking.
+//! - [`plan`]: the full Sec. 5 pipeline (path ranking + DP + tier
+//!   fallback).
+
+pub mod blas;
+pub mod cache;
+pub mod dp;
+pub mod eval;
+pub mod exhaustive;
+pub mod planner;
+pub mod tree_cost;
+
+pub use blas::{BlasAware, BlasValue};
+pub use cache::CacheMiss;
+pub use dp::{optimal_order, SearchResult};
+pub use eval::eval_forest;
+pub use exhaustive::{all_nest_costs, exhaustive_search, ExhaustiveResult};
+pub use planner::{plan, PlanOptions, PlannedNest};
+pub use tree_cost::{MaxBufferDim, MaxBufferSize, TreeCost, VertexCtx};

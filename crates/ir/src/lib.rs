@@ -1,0 +1,40 @@
+//! # spttn-ir
+//!
+//! Intermediate representation for SpTTN kernels — the formal core of
+//! *"Minimum Cost Loop Nests for Contraction of a Sparse Tensor with a
+//! Tensor Network"* (SPAA 2024):
+//!
+//! - [`Kernel`]: an einsum-style SpTTN specification (one sparse input,
+//!   dense factors, dense or pattern-sharing output) — Sec. 3.
+//! - [`ContractionPath`] / [`enumerate_paths`]: ordered pairwise
+//!   contraction sequences with sparse-lineage tracking — Def. 3.1,
+//!   Sec. 4.1.1.
+//! - [`NestSpec`] / [`NestSpecIter`]: per-term loop orders restricted to
+//!   CSF storage order — Def. 3.2, Sec. 4.1.2.
+//! - [`LoopForest`] / [`build_forest`]: fully-fused loop-nest forests
+//!   via peeling, with sparse/dense vertex classification — Defs.
+//!   4.1–4.3.
+//! - [`BufferSpec`] / [`buffers_for_forest`]: intermediate tensors from
+//!   Eq. 5.
+
+pub mod buffer;
+pub mod fuse;
+pub mod index;
+pub mod kernel;
+pub mod order;
+pub mod parse;
+pub mod path;
+pub mod stdkernels;
+
+pub use buffer::{
+    buffers_for_forest, max_buffer_dim, max_buffer_size, total_buffer_size, BufferSpec,
+};
+pub use fuse::{build_forest, vertex_kind, FuseError, LoopForest, LoopNode, LoopVertex, VertexKind};
+pub use index::{IdxSet, IndexId, IndexInfo, MAX_INDICES};
+pub use kernel::{Kernel, KernelBuilder, KernelError, TensorRef};
+pub use order::{
+    count_orders, lineage_in_csf_order, order_is_valid, orders_for_term, LoopOrder, NestSpec,
+    NestSpecIter,
+};
+pub use parse::parse_kernel;
+pub use path::{enumerate_paths, path_from_picks, ContractionPath, Operand, Term};

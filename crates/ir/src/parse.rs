@@ -1,0 +1,251 @@
+//! Einsum-style kernel parser.
+//!
+//! Parses expressions like
+//! `"S(i,r,s) = T(i,j,k) * U(j,r) * V(k,s)"` into a [`Kernel`]. By
+//! convention the **first input on the right-hand side is the sparse
+//! tensor** (the paper writes every SpTTN with the sparse tensor first).
+//! When the output's index set equals the sparse input's index set
+//! exactly, the output is marked as pattern-sharing (TTTP-like): with a
+//! multiplicative sparse factor, such an output is identically zero
+//! outside the sparse pattern, which is the paper's definition of a
+//! valid SpTTN output.
+
+use crate::index::IndexInfo;
+use crate::kernel::{Kernel, KernelError, TensorRef};
+use std::collections::HashMap;
+
+/// One parsed tensor reference: name plus index names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RawRef {
+    name: String,
+    indices: Vec<String>,
+}
+
+fn parse_ref(s: &str) -> Result<RawRef, KernelError> {
+    let s = s.trim();
+    let open = s
+        .find('(')
+        .ok_or_else(|| KernelError::Parse(format!("expected '(' in tensor reference '{s}'")))?;
+    if !s.ends_with(')') {
+        return Err(KernelError::Parse(format!(
+            "expected ')' at end of tensor reference '{s}'"
+        )));
+    }
+    let name = s[..open].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(KernelError::Parse(format!("bad tensor name in '{s}'")));
+    }
+    let inner = &s[open + 1..s.len() - 1];
+    let indices: Vec<String> = if inner.trim().is_empty() {
+        Vec::new()
+    } else {
+        inner.split(',').map(|x| x.trim().to_string()).collect()
+    };
+    for i in &indices {
+        if i.is_empty() || !i.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err(KernelError::Parse(format!("bad index name '{i}' in '{s}'")));
+        }
+    }
+    Ok(RawRef {
+        name: name.to_string(),
+        indices,
+    })
+}
+
+/// Parse an einsum-style SpTTN kernel.
+///
+/// `dims` maps index names to dimension sizes; every index appearing in
+/// the expression must be present. `=` and `+=` are both accepted.
+///
+/// ```
+/// use spttn_ir::parse_kernel;
+/// let k = parse_kernel(
+///     "A(i,a) = T(i,j,k) * B(j,a) * C(k,a)",
+///     &[("i", 100), ("j", 80), ("k", 90), ("a", 16)],
+/// )
+/// .unwrap();
+/// assert_eq!(k.sparse_indices().len(), 3);
+/// assert_eq!(k.inputs.len(), 3);
+/// ```
+pub fn parse_kernel(expr: &str, dims: &[(&str, usize)]) -> Result<Kernel, KernelError> {
+    let (lhs, rhs) = split_equation(expr)?;
+    let out_raw = parse_ref(lhs)?;
+    let mut in_raw = Vec::new();
+    for part in split_top_level(rhs, '*') {
+        in_raw.push(parse_ref(&part)?);
+    }
+    if in_raw.is_empty() {
+        return Err(KernelError::NoInputs);
+    }
+
+    let dim_map: HashMap<&str, usize> = dims.iter().copied().collect();
+    let mut lookup: HashMap<String, usize> = HashMap::new();
+    let mut indices: Vec<IndexInfo> = Vec::new();
+    let mut resolve = |names: &[String]| -> Result<Vec<usize>, KernelError> {
+        let mut out = Vec::with_capacity(names.len());
+        for n in names {
+            let id = match lookup.get(n) {
+                Some(&id) => id,
+                None => {
+                    let dim = *dim_map.get(n.as_str()).ok_or_else(|| {
+                        KernelError::Parse(format!("no dimension given for index '{n}'"))
+                    })?;
+                    let id = indices.len();
+                    lookup.insert(n.clone(), id);
+                    indices.push(IndexInfo {
+                        name: n.clone(),
+                        dim,
+                        sparse_level: None,
+                    });
+                    id
+                }
+            };
+            out.push(id);
+        }
+        Ok(out)
+    };
+
+    // Resolve the sparse input (first RHS tensor) before the output so
+    // index ids follow the paper's convention of listing T's modes first.
+    let mut inputs = Vec::with_capacity(in_raw.len());
+    for r in &in_raw {
+        inputs.push(TensorRef {
+            name: r.name.clone(),
+            indices: resolve(&r.indices)?,
+        });
+    }
+    let output = TensorRef {
+        name: out_raw.name.clone(),
+        indices: resolve(&out_raw.indices)?,
+    };
+
+    let sparse_input = 0;
+    let output_sparse = output
+        .indices
+        .iter()
+        .copied()
+        .collect::<std::collections::BTreeSet<_>>()
+        == inputs[sparse_input]
+            .indices
+            .iter()
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>();
+
+    Kernel::new(indices, output, inputs, sparse_input, output_sparse)
+}
+
+fn split_equation(expr: &str) -> Result<(&str, &str), KernelError> {
+    if let Some(pos) = expr.find("+=") {
+        Ok((&expr[..pos], &expr[pos + 2..]))
+    } else if let Some(pos) = expr.find('=') {
+        Ok((&expr[..pos], &expr[pos + 1..]))
+    } else {
+        Err(KernelError::Parse("expected '=' in kernel expression".into()))
+    }
+}
+
+fn split_top_level(s: &str, sep: char) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            c if c == sep && depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mttkrp() {
+        let k = parse_kernel(
+            "A(i,a) = T(i,j,k) * B(j,a) * C(k,a)",
+            &[("i", 10), ("j", 11), ("k", 12), ("a", 4)],
+        )
+        .unwrap();
+        assert_eq!(k.to_einsum(), "A(i,a) = T(i,j,k) * B(j,a) * C(k,a)");
+        assert_eq!(k.dim(0), 10);
+        assert!(!k.output_sparse);
+        assert_eq!(k.sparse_input, 0);
+    }
+
+    #[test]
+    fn parses_plus_equals() {
+        let k = parse_kernel("A(i) += T(i,j) * B(j)", &[("i", 3), ("j", 4)]).unwrap();
+        assert_eq!(k.inputs.len(), 2);
+    }
+
+    #[test]
+    fn detects_tttp_sparse_output() {
+        let k = parse_kernel(
+            "S(i,j,k) = T(i,j,k) * U(i,r) * V(j,r) * W(k,r)",
+            &[("i", 5), ("j", 6), ("k", 7), ("r", 3)],
+        )
+        .unwrap();
+        assert!(k.output_sparse);
+    }
+
+    #[test]
+    fn output_index_order_differs_from_pattern_still_sparse() {
+        let k = parse_kernel(
+            "S(k,j,i) = T(i,j,k) * U(i,r) * V(j,r) * W(k,r)",
+            &[("i", 5), ("j", 6), ("k", 7), ("r", 3)],
+        )
+        .unwrap();
+        assert!(k.output_sparse);
+    }
+
+    #[test]
+    fn missing_dim_is_error() {
+        let e = parse_kernel("A(i) = T(i,j) * B(j)", &[("i", 3)]);
+        assert!(matches!(e, Err(KernelError::Parse(_))));
+    }
+
+    #[test]
+    fn malformed_expressions_rejected() {
+        assert!(parse_kernel("A(i) T(i)", &[("i", 2)]).is_err());
+        assert!(parse_kernel("A(i = T(i)", &[("i", 2)]).is_err());
+        assert!(parse_kernel("A(i) = ", &[("i", 2)]).is_err());
+        assert!(parse_kernel("A(i!) = T(i!)", &[("i!", 2)]).is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let k = parse_kernel(
+            "  S( i , r )   =  T( i , j )*U( j , r ) ",
+            &[("i", 4), ("j", 5), ("r", 2)],
+        )
+        .unwrap();
+        assert_eq!(k.to_einsum(), "S(i,r) = T(i,j) * U(j,r)");
+    }
+
+    #[test]
+    fn index_ids_list_sparse_modes_first() {
+        let k = parse_kernel(
+            "A(i,a) = T(i,j,k) * B(j,a) * C(k,a)",
+            &[("i", 10), ("j", 11), ("k", 12), ("a", 4)],
+        )
+        .unwrap();
+        // T's modes get ids 0,1,2 in CSF order; 'a' gets 3.
+        assert_eq!(k.csf_index_order(), &[0, 1, 2]);
+        assert_eq!(k.index_name(3), "a");
+    }
+}

@@ -1,0 +1,583 @@
+//! Contraction paths (paper Def. 3.1).
+//!
+//! A contraction path for `N+1` tensors is a depth-first postordering of
+//! a binary contraction tree: an ordered list of *terms*, each
+//! contracting two inputs/intermediates. The loop-nest search operates on
+//! one path at a time; [`enumerate_paths`] produces every ordered path
+//! (the paper's Sec. 4.1.1 recursion, `T(n) = C(n,2)·T(n-1)`).
+//!
+//! Each term tracks its *sparse lineage*: the sparse-mode indices along
+//! which an operand inherits the sparse tensor's pattern. Lineage
+//! determines which loops may iterate CSF fibers instead of full
+//! dimensions, which is what gives SpTTN kernels their data-independent
+//! cost model ([`ContractionPath::flops`]).
+
+use crate::index::IdxSet;
+use crate::kernel::Kernel;
+use spttn_tensor::SparsityProfile;
+
+/// Operand of a contraction term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// One of the kernel's input tensors.
+    Input(usize),
+    /// The intermediate produced by an earlier term of this path.
+    Inter(usize),
+}
+
+/// One pairwise contraction (`L_i` in the paper: a 3-tuple of index sets
+/// plus operand identities).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Term {
+    /// Left operand.
+    pub left: Operand,
+    /// Right operand.
+    pub right: Operand,
+    /// Index set of the left operand.
+    pub left_inds: IdxSet,
+    /// Index set of the right operand.
+    pub right_inds: IdxSet,
+    /// Index set of the produced intermediate (or the kernel output for
+    /// the final term).
+    pub out_inds: IdxSet,
+    /// Sparse-mode indices along which the left operand carries the
+    /// sparse tensor's pattern.
+    pub left_lineage: IdxSet,
+    /// Sparse lineage of the right operand.
+    pub right_lineage: IdxSet,
+    /// The later term that consumes this term's output (`None` for the
+    /// final term).
+    pub consumer: Option<usize>,
+}
+
+impl Term {
+    /// All indices iterated by this term (union of operand indices).
+    #[inline]
+    pub fn iter_inds(&self) -> IdxSet {
+        self.left_inds.union(self.right_inds)
+    }
+
+    /// Combined sparse lineage of both operands.
+    #[inline]
+    pub fn lineage(&self) -> IdxSet {
+        self.left_lineage.union(self.right_lineage)
+    }
+
+    /// Sparse lineage surviving into the output.
+    #[inline]
+    pub fn out_lineage(&self) -> IdxSet {
+        self.lineage().intersect(self.out_inds)
+    }
+
+    /// Indices summed away by this term.
+    #[inline]
+    pub fn contracted(&self) -> IdxSet {
+        self.iter_inds().minus(self.out_inds)
+    }
+}
+
+/// An ordered contraction path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContractionPath {
+    /// Terms in execution (postorder) order.
+    pub terms: Vec<Term>,
+    /// Position of the term that takes the sparse input directly.
+    pub sparse_term: usize,
+}
+
+impl ContractionPath {
+    /// Number of terms (`N` for an `N+1`-tensor contraction).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when the path has no terms.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Maximum loop depth over terms (number of distinct indices of the
+    /// deepest term) — the paper's asymptotic-complexity proxy.
+    pub fn max_loop_depth(&self) -> usize {
+        self.terms.iter().map(|t| t.iter_inds().len()).max().unwrap_or(0)
+    }
+
+    /// Leading-order scalar-operation count of this path on a tensor with
+    /// the given sparsity profile, assuming maximal fusion (paper
+    /// Sec. 2.4 / Sec. 7 examples).
+    ///
+    /// Each term costs `2 · nnz_prefix(ℓ) · ∏ dims(remaining indices)`,
+    /// where `ℓ` is the longest CSF prefix the term can iterate sparsely:
+    /// prefix indices must be in the term's index set and either belong
+    /// to the term's sparse lineage or (for pre-sparse terms, which can
+    /// be fused under the sparse descent) merely be present.
+    pub fn flops(&self, kernel: &Kernel, profile: &SparsityProfile) -> u128 {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(t, _)| self.term_flops(t, kernel, profile))
+            .sum()
+    }
+
+    /// Leading-order op count of one term (see [`ContractionPath::flops`]).
+    pub fn term_flops(&self, t: usize, kernel: &Kernel, profile: &SparsityProfile) -> u128 {
+        let term = &self.terms[t];
+        let inds = term.iter_inds();
+        let ell = self.sparse_prefix_len(t, kernel);
+        let mut prefix = IdxSet::EMPTY;
+        for l in 0..ell {
+            prefix = prefix.insert(kernel.index_at_level(l));
+        }
+        let mut cost: u128 = 2 * profile.prefix_nnz(ell) as u128;
+        for i in inds.minus(prefix).iter() {
+            cost = cost.saturating_mul(kernel.dim(i) as u128);
+        }
+        cost
+    }
+
+    /// Longest CSF prefix term `t` can iterate sparsely (see
+    /// [`ContractionPath::flops`] for the validity rule).
+    pub fn sparse_prefix_len(&self, t: usize, kernel: &Kernel) -> usize {
+        let term = &self.terms[t];
+        let inds = term.iter_inds();
+        let lineage = term.lineage();
+        let pre_sparse = lineage.is_empty() && t < self.sparse_term;
+        let nlevels = kernel.csf_index_order().len();
+        let mut ell = 0;
+        for l in 0..nlevels {
+            let idx = kernel.index_at_level(l);
+            let ok = inds.contains(idx) && (lineage.contains(idx) || pre_sparse);
+            if ok {
+                ell += 1;
+            } else {
+                break;
+            }
+        }
+        ell
+    }
+
+    /// Total dense size of all materialized intermediates (the memory an
+    /// *unfused* pairwise execution needs; the fused executor allocates
+    /// only the much smaller buffers of Eq. 5).
+    pub fn materialized_intermediate_size(&self, kernel: &Kernel) -> u128 {
+        self.terms
+            .iter()
+            .take(self.terms.len().saturating_sub(1))
+            .map(|t| {
+                t.out_inds
+                    .iter()
+                    .map(|i| kernel.dim(i) as u128)
+                    .product::<u128>()
+            })
+            .sum()
+    }
+
+    /// Render the path as `T(i,j,k)*V(k,s) -> X(i,j,s) ; ...`.
+    pub fn describe(&self, kernel: &Kernel) -> String {
+        let name_of = |op: Operand| match op {
+            Operand::Input(i) => kernel.inputs[i].name.clone(),
+            Operand::Inter(t) => format!("X{t}"),
+        };
+        let inds_of = |s: IdxSet| {
+            let v: Vec<&str> = s.iter().map(|i| kernel.index_name(i)).collect();
+            v.join(",")
+        };
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(t, term)| {
+                let out_name = if t + 1 == self.terms.len() {
+                    kernel.output.name.clone()
+                } else {
+                    format!("X{t}")
+                };
+                format!(
+                    "{}({})*{}({}) -> {}({})",
+                    name_of(term.left),
+                    inds_of(term.left_inds),
+                    name_of(term.right),
+                    inds_of(term.right_inds),
+                    out_name,
+                    inds_of(term.out_inds),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ; ")
+    }
+}
+
+/// Item tracked during path enumeration.
+#[derive(Debug, Clone, Copy)]
+struct Item {
+    op: Operand,
+    inds: IdxSet,
+    lineage: IdxSet,
+}
+
+/// Enumerate every ordered contraction path for the kernel
+/// (Sec. 4.1.1): recursively contract all unordered pairs of remaining
+/// tensors, appending the intermediate to the working list. Each ordered
+/// term sequence is produced exactly once.
+pub fn enumerate_paths(kernel: &Kernel) -> Vec<ContractionPath> {
+    let n = kernel.inputs.len();
+    if n == 1 {
+        // Degenerate single-input "contraction": represent as one term
+        // multiplying the sparse tensor by a scalar identity is not
+        // meaningful; SpTTN kernels have >= 2 inputs in practice.
+        return Vec::new();
+    }
+    let items: Vec<Item> = kernel
+        .inputs
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Item {
+            op: Operand::Input(i),
+            inds: t.index_set(),
+            lineage: if i == kernel.sparse_input {
+                t.index_set()
+            } else {
+                IdxSet::EMPTY
+            },
+        })
+        .collect();
+    let mut out = Vec::new();
+    let mut terms: Vec<Term> = Vec::with_capacity(n - 1);
+    recurse(kernel, &items, &mut terms, &mut out);
+    for p in &mut out {
+        finalize(p);
+    }
+    out
+}
+
+fn recurse(
+    kernel: &Kernel,
+    items: &[Item],
+    terms: &mut Vec<Term>,
+    out: &mut Vec<ContractionPath>,
+) {
+    if items.len() == 1 {
+        let sparse_term = terms
+            .iter()
+            .position(|t| {
+                t.left == Operand::Input(kernel.sparse_input)
+                    || t.right == Operand::Input(kernel.sparse_input)
+            })
+            .expect("every path contracts the sparse input");
+        out.push(ContractionPath {
+            terms: terms.clone(),
+            sparse_term,
+        });
+        return;
+    }
+    for a in 0..items.len() {
+        for b in a + 1..items.len() {
+            let (ia, ib) = (items[a], items[b]);
+            // Indices needed by the output or any other remaining item.
+            let mut needed = kernel.output_indices();
+            for (k, it) in items.iter().enumerate() {
+                if k != a && k != b {
+                    needed = needed.union(it.inds);
+                }
+            }
+            let union = ia.inds.union(ib.inds);
+            let out_inds = union.intersect(needed);
+            let lineage_out = ia.lineage.union(ib.lineage).intersect(out_inds);
+            let term_id = terms.len();
+            terms.push(Term {
+                left: ia.op,
+                right: ib.op,
+                left_inds: ia.inds,
+                right_inds: ib.inds,
+                out_inds,
+                left_lineage: ia.lineage,
+                right_lineage: ib.lineage,
+                consumer: None,
+            });
+            let mut rest: Vec<Item> = Vec::with_capacity(items.len() - 1);
+            for (k, it) in items.iter().enumerate() {
+                if k != a && k != b {
+                    rest.push(*it);
+                }
+            }
+            rest.push(Item {
+                op: Operand::Inter(term_id),
+                inds: out_inds,
+                lineage: lineage_out,
+            });
+            recurse(kernel, &rest, terms, out);
+            terms.pop();
+        }
+    }
+}
+
+/// Fill consumer links after the term list is complete.
+fn finalize(path: &mut ContractionPath) {
+    let n = path.terms.len();
+    for t in 0..n {
+        for u in t + 1..n {
+            if path.terms[u].left == Operand::Inter(t) || path.terms[u].right == Operand::Inter(t)
+            {
+                path.terms[t].consumer = Some(u);
+                break;
+            }
+        }
+    }
+    for (t, term) in path.terms.iter().enumerate() {
+        debug_assert!(
+            term.consumer.is_some() || t + 1 == n,
+            "non-final term without consumer"
+        );
+    }
+}
+
+/// Build a specific path from an explicit pick sequence (testing and
+/// baseline schedules): each pick names two positions in the working
+/// item list (inputs first, intermediates appended in creation order).
+pub fn path_from_picks(kernel: &Kernel, picks: &[(usize, usize)]) -> ContractionPath {
+    let n = kernel.inputs.len();
+    assert_eq!(picks.len(), n - 1, "need exactly n-1 picks");
+    let mut items: Vec<Item> = kernel
+        .inputs
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Item {
+            op: Operand::Input(i),
+            inds: t.index_set(),
+            lineage: if i == kernel.sparse_input {
+                t.index_set()
+            } else {
+                IdxSet::EMPTY
+            },
+        })
+        .collect();
+    let mut terms = Vec::new();
+    for &(a, b) in picks {
+        assert!(a < items.len() && b < items.len() && a != b, "bad pick");
+        let (ia, ib) = (items[a], items[b]);
+        let mut needed = kernel.output_indices();
+        for (k, it) in items.iter().enumerate() {
+            if k != a && k != b {
+                needed = needed.union(it.inds);
+            }
+        }
+        let union = ia.inds.union(ib.inds);
+        let out_inds = union.intersect(needed);
+        let lineage_out = ia.lineage.union(ib.lineage).intersect(out_inds);
+        let term_id = terms.len();
+        terms.push(Term {
+            left: ia.op,
+            right: ib.op,
+            left_inds: ia.inds,
+            right_inds: ib.inds,
+            out_inds,
+            left_lineage: ia.lineage,
+            right_lineage: ib.lineage,
+            consumer: None,
+        });
+        let mut rest: Vec<Item> = Vec::with_capacity(items.len() - 1);
+        for (k, it) in items.iter().enumerate() {
+            if k != a && k != b {
+                rest.push(*it);
+            }
+        }
+        rest.push(Item {
+            op: Operand::Inter(term_id),
+            inds: out_inds,
+            lineage: lineage_out,
+        });
+        items = rest;
+    }
+    let sparse_term = terms
+        .iter()
+        .position(|t: &Term| {
+            t.left == Operand::Input(kernel.sparse_input)
+                || t.right == Operand::Input(kernel.sparse_input)
+        })
+        .expect("path must contract the sparse input");
+    let mut p = ContractionPath { terms, sparse_term };
+    finalize(&mut p);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use crate::parse_kernel;
+
+    fn ttmc3() -> Kernel {
+        parse_kernel(
+            "S(i,r,s) = T(i,j,k) * U(j,r) * V(k,s)",
+            &[("i", 100), ("j", 80), ("k", 90), ("r", 8), ("s", 9)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn enumeration_count_matches_recurrence() {
+        // T(n) = C(n,2) * T(n-1), T(2) = 1.
+        assert_eq!(enumerate_paths(&ttmc3()).len(), 3); // n=3: C(3,2)*1 = 3
+        let k4 = parse_kernel(
+            "S(i,j,k) = T(i,j,k) * U(i,r) * V(j,r) * W(k,r)",
+            &[("i", 10), ("j", 10), ("k", 10), ("r", 4)],
+        )
+        .unwrap();
+        assert_eq!(enumerate_paths(&k4).len(), 18); // 6*3*1
+    }
+
+    #[test]
+    fn consumer_links_are_set() {
+        for p in enumerate_paths(&ttmc3()) {
+            let n = p.terms.len();
+            for (t, term) in p.terms.iter().enumerate() {
+                if t + 1 == n {
+                    assert!(term.consumer.is_none());
+                } else {
+                    let c = term.consumer.unwrap();
+                    assert!(c > t);
+                    assert!(
+                        p.terms[c].left == Operand::Inter(t)
+                            || p.terms[c].right == Operand::Inter(t)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lineage_propagates_through_intermediates() {
+        // Path (T*V) then (*U): intermediate X(i,j,s) has lineage {i,j}.
+        let k = ttmc3();
+        let p = path_from_picks(&k, &[(0, 2), (0, 1)]);
+        assert_eq!(p.sparse_term, 0);
+        let x = &p.terms[0];
+        // T(i,j,k)*V(k,s) -> X(i,j,s): k contracted.
+        assert_eq!(x.out_inds.to_vec(), vec![0, 1, 4]); // i, j, s
+        assert_eq!(x.out_lineage().to_vec(), vec![0, 1]); // i, j
+        // The intermediate is appended at the end of the item list, so it
+        // is the *right* operand of the final term.
+        let last = &p.terms[1];
+        assert_eq!(last.right, Operand::Inter(0));
+        assert_eq!(last.right_lineage.to_vec(), vec![0, 1]);
+    }
+
+    #[test]
+    fn ttmc_flops_match_paper_formulas() {
+        // Paper Sec. 2.4.2: T*V then *U costs 2 nnz(T) S + 2 nnz_IJ S R.
+        let k = ttmc3();
+        let profile =
+            SparsityProfile::from_coo(&toy_tensor(), &[0, 1, 2]).unwrap();
+        let p = path_from_picks(&k, &[(0, 2), (0, 1)]);
+        let nnz = profile.prefix_nnz(3) as u128;
+        let nnz_ij = profile.prefix_nnz(2) as u128;
+        let expect = 2 * nnz * 9 + 2 * nnz_ij * 9 * 8;
+        assert_eq!(p.flops(&k, &profile), expect);
+
+        // Dense-first path (U*V then *T): J*R*K*S + 2 nnz R S.
+        let p2 = path_from_picks(&k, &[(1, 2), (0, 1)]);
+        let expect2 = 2u128 * 80 * 8 * 90 * 9 + 2 * nnz * 8 * 9;
+        assert_eq!(p2.flops(&k, &profile), expect2);
+        assert_eq!(p2.max_loop_depth(), 5);
+    }
+
+    fn toy_tensor() -> spttn_tensor::CooTensor {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        spttn_tensor::random_coo(&[100, 80, 90], 500, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn mttkrp_pairwise_cheaper_than_unfactorized() {
+        // Paper Sec. 2.4.2: pairwise MTTKRP saves up to a third of ops —
+        // when fibers are dense enough that nnz_IJ << nnz.
+        use rand::prelude::*;
+        let k = parse_kernel(
+            "A(i,a) = T(i,j,k) * B(j,a) * C(k,a)",
+            &[("i", 40), ("j", 40), ("k", 40), ("a", 16)],
+        )
+        .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let fibrous = spttn_tensor::random_coo(&[40, 40, 40], 4000, &mut rng).unwrap();
+        let profile = SparsityProfile::from_coo(&fibrous, &[0, 1, 2]).unwrap();
+        let best = enumerate_paths(&k)
+            .iter()
+            .map(|p| p.flops(&k, &profile))
+            .min()
+            .unwrap();
+        let nnz = profile.prefix_nnz(3) as u128;
+        let nnz_ij = profile.prefix_nnz(2) as u128;
+        assert_eq!(best, 2 * nnz * 16 + 2 * nnz_ij * 16);
+        assert!(best < 3 * nnz * 16);
+    }
+
+    #[test]
+    fn pre_sparse_term_gets_prefix_pruning() {
+        // TTTP: U(i,r)*V(j,r) fused under the sparse descent iterates
+        // nnz_IJ, not I*J.
+        let k = parse_kernel(
+            "S(i,j,k) = T(i,j,k) * U(i,r) * V(j,r) * W(k,r)",
+            &[("i", 50), ("j", 50), ("k", 50), ("r", 4)],
+        )
+        .unwrap();
+        // Path: (U*V) -> X(i,j,r); (X*W) -> Y(i,j,k,r); (Y*T) -> S.
+        let p = path_from_picks(&k, &[(1, 2), (1, 2), (0, 1)]);
+        assert_eq!(p.sparse_term, 2);
+        assert_eq!(p.sparse_prefix_len(0, &k), 2); // pre-sparse, {i,j}
+        assert_eq!(p.sparse_prefix_len(1, &k), 3); // pre-sparse, {i,j,k}
+        assert_eq!(p.sparse_prefix_len(2, &k), 3);
+    }
+
+    #[test]
+    fn dense_only_term_without_prefix_is_dense() {
+        // Fig 1d: U(j,r)*V(k,s) has no i, so no sparse prefix.
+        let k = ttmc3();
+        let p = path_from_picks(&k, &[(1, 2), (0, 1)]);
+        assert_eq!(p.sparse_prefix_len(0, &k), 0);
+    }
+
+    #[test]
+    fn materialized_sizes() {
+        let k = ttmc3();
+        let p = path_from_picks(&k, &[(0, 2), (0, 1)]);
+        // X(i,j,s): 100*80*9.
+        assert_eq!(p.materialized_intermediate_size(&k), 100 * 80 * 9);
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let k = ttmc3();
+        let p = path_from_picks(&k, &[(0, 2), (0, 1)]);
+        let s = p.describe(&k);
+        assert!(s.contains("T(i,j,k)*V(k,s) -> X0(i,j,s)"), "{s}");
+        assert!(s.contains("-> S(i,r,s)"), "{s}");
+    }
+
+    #[test]
+    fn builder_kernel_paths() {
+        // Order-4 TTMc from the paper's Fig. 5/6.
+        let k = KernelBuilder::new()
+            .index("i", 20)
+            .index("j", 20)
+            .index("k", 20)
+            .index("l", 20)
+            .index("r", 4)
+            .index("s", 4)
+            .index("t", 4)
+            .output("S", &["i", "r", "s", "t"])
+            .input("T", &["i", "j", "k", "l"])
+            .input("U", &["j", "r"])
+            .input("V", &["k", "s"])
+            .input("W", &["l", "t"])
+            .build()
+            .unwrap();
+        let paths = enumerate_paths(&k);
+        assert_eq!(paths.len(), 18);
+        // The paper's Fig. 5 path: T*W, then *V, then *U.
+        let p = path_from_picks(&k, &[(0, 3), (0, 1), (0, 1)]);
+        assert_eq!(p.terms[0].out_inds.len(), 4); // i,j,k,t
+        assert_eq!(p.terms[1].out_inds.len(), 4); // i,j,s,t
+        assert_eq!(p.terms[2].out_inds.len(), 4); // i,r,s,t
+    }
+}

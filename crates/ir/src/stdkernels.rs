@@ -1,0 +1,188 @@
+//! The paper's standard SpTTN kernels (Sec. 2.3), parameterized by
+//! tensor order, dimensions and factor ranks.
+
+use crate::kernel::{Kernel, KernelBuilder};
+
+const MODE_NAMES: [&str; 8] = ["i", "j", "k", "l", "m", "n", "o", "p"];
+const RANK_NAMES: [&str; 8] = ["r", "s", "t", "u", "v", "w", "x", "y"];
+
+/// MTTKRP (Eq. 1), generalized to order-`d`:
+/// `A(i, a) = Σ T(i, j, ..) · B(j, a) · C(k, a) · ...`
+/// (mode-0 matricization; one factor per non-output mode).
+pub fn mttkrp(dims: &[usize], rank: usize) -> Kernel {
+    let d = dims.len();
+    assert!((2..=8).contains(&d), "order 2..=8 supported");
+    let mut b = KernelBuilder::new();
+    for (m, &dim) in dims.iter().enumerate() {
+        b = b.index(MODE_NAMES[m], dim);
+    }
+    b = b.index("a", rank);
+    b = b.output("A", &[MODE_NAMES[0], "a"]);
+    b = b.input("T", &MODE_NAMES[..d].to_vec());
+    for m in 1..d {
+        b = b.input(&format!("F{m}"), &[MODE_NAMES[m], "a"]);
+    }
+    b.build().expect("mttkrp kernel is valid")
+}
+
+/// TTMc (Eq. 2), generalized to order-`d`:
+/// `S(i, r1, .., r_{d-1}) = Σ T(i, j, ..) · U(j, r1) · V(k, r2) · ...`
+pub fn ttmc(dims: &[usize], ranks: &[usize]) -> Kernel {
+    let d = dims.len();
+    assert!((2..=8).contains(&d));
+    assert_eq!(ranks.len(), d - 1, "one rank per contracted mode");
+    let mut b = KernelBuilder::new();
+    for (m, &dim) in dims.iter().enumerate() {
+        b = b.index(MODE_NAMES[m], dim);
+    }
+    for (x, &r) in ranks.iter().enumerate() {
+        b = b.index(RANK_NAMES[x], r);
+    }
+    let mut out = vec![MODE_NAMES[0]];
+    out.extend_from_slice(&RANK_NAMES[..d - 1]);
+    b = b.output("S", &out);
+    b = b.input("T", &MODE_NAMES[..d].to_vec());
+    for m in 1..d {
+        b = b.input(&format!("F{m}"), &[MODE_NAMES[m], RANK_NAMES[m - 1]]);
+    }
+    b.build().expect("ttmc kernel is valid")
+}
+
+/// All-mode TTMc (Sec. 7 "Impact of intermediate tensor dimension"):
+/// `S(r1..rd) = Σ T(i, j, ..) · U(i, r1) · V(j, r2) · ...`
+/// — every sparse mode is contracted.
+pub fn all_mode_ttmc(dims: &[usize], ranks: &[usize]) -> Kernel {
+    let d = dims.len();
+    assert!((2..=8).contains(&d));
+    assert_eq!(ranks.len(), d);
+    let mut b = KernelBuilder::new();
+    for (m, &dim) in dims.iter().enumerate() {
+        b = b.index(MODE_NAMES[m], dim);
+    }
+    for (x, &r) in ranks.iter().enumerate() {
+        b = b.index(RANK_NAMES[x], r);
+    }
+    b = b.output("S", &RANK_NAMES[..d].to_vec());
+    b = b.input("T", &MODE_NAMES[..d].to_vec());
+    for m in 0..d {
+        b = b.input(&format!("F{m}"), &[MODE_NAMES[m], RANK_NAMES[m]]);
+    }
+    b.build().expect("all-mode ttmc kernel is valid")
+}
+
+/// TTTP (Eq. 3), generalized to order-`d`:
+/// `S(i,j,..) = Σ_r T(i,j,..) · U(i,r) · V(j,r) · ...`
+/// — output shares the sparse pattern (SDDMM generalization).
+pub fn tttp(dims: &[usize], rank: usize) -> Kernel {
+    let d = dims.len();
+    assert!((2..=8).contains(&d));
+    let mut b = KernelBuilder::new();
+    for (m, &dim) in dims.iter().enumerate() {
+        b = b.index(MODE_NAMES[m], dim);
+    }
+    b = b.index("r", rank);
+    b = b.output("S", &MODE_NAMES[..d].to_vec());
+    b = b.input("T", &MODE_NAMES[..d].to_vec());
+    for m in 0..d {
+        b = b.input(&format!("F{m}"), &[MODE_NAMES[m], "r"]);
+    }
+    b = b.sparse_output();
+    b.build().expect("tttp kernel is valid")
+}
+
+/// TTTc (Eq. 4): the tensor-train gradient contraction. For an order-`d`
+/// sparse tensor with train ranks `r`, contracts all but the last train
+/// core:
+/// `Z(e, n) = Σ T(i,j,..,n) · A(i,a) · B(a,j,b) · C(b,k,c) · ...`
+/// where the output keeps the last sparse mode and the last bond index.
+pub fn tttc(dims: &[usize], rank: usize) -> Kernel {
+    let d = dims.len();
+    assert!((3..=7).contains(&d), "order 3..=7 supported");
+    let mut b = KernelBuilder::new();
+    for (m, &dim) in dims.iter().enumerate() {
+        b = b.index(MODE_NAMES[m], dim);
+    }
+    // Bond indices a, b, c, ... (d-1 of them; the last appears in the output).
+    let bonds: Vec<String> = (0..d - 1).map(|x| format!("b{x}")).collect();
+    for bond in &bonds {
+        b = b.index(bond, rank);
+    }
+    b = b.output("Z", &[MODE_NAMES[d - 1], bonds[d - 2].as_str()]);
+    b = b.input("T", &MODE_NAMES[..d].to_vec());
+    // First core: A(i, b0).
+    b = b.input("A", &[MODE_NAMES[0], bonds[0].as_str()]);
+    // Middle cores: G_m(b_{m-1}, mode_m, b_m).
+    for m in 1..d - 1 {
+        b = b.input(
+            &format!("G{m}"),
+            &[bonds[m - 1].as_str(), MODE_NAMES[m], bonds[m].as_str()],
+        );
+    }
+    b.build().expect("tttc kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mttkrp_matches_eq1() {
+        let k = mttkrp(&[10, 11, 12], 4);
+        assert_eq!(k.to_einsum(), "A(i,a) = T(i,j,k) * F1(j,a) * F2(k,a)");
+        assert!(!k.output_sparse);
+        assert_eq!(k.num_indices(), 4);
+    }
+
+    #[test]
+    fn ttmc_matches_eq2() {
+        let k = ttmc(&[10, 11, 12], &[4, 5]);
+        assert_eq!(k.to_einsum(), "S(i,r,s) = T(i,j,k) * F1(j,r) * F2(k,s)");
+        let k4 = ttmc(&[6, 6, 6, 6], &[2, 3, 4]);
+        assert_eq!(
+            k4.to_einsum(),
+            "S(i,r,s,t) = T(i,j,k,l) * F1(j,r) * F2(k,s) * F3(l,t)"
+        );
+    }
+
+    #[test]
+    fn all_mode_ttmc_contracts_everything() {
+        let k = all_mode_ttmc(&[10, 11, 12], &[4, 5, 6]);
+        assert_eq!(
+            k.to_einsum(),
+            "S(r,s,t) = T(i,j,k) * F0(i,r) * F1(j,s) * F2(k,t)"
+        );
+        assert_eq!(k.contracted_indices().len(), 3);
+    }
+
+    #[test]
+    fn tttp_matches_eq3() {
+        let k = tttp(&[10, 11, 12], 4);
+        assert_eq!(
+            k.to_einsum(),
+            "S(i,j,k) = T(i,j,k) * F0(i,r) * F1(j,r) * F2(k,r)"
+        );
+        assert!(k.output_sparse);
+    }
+
+    #[test]
+    fn tttc_matches_eq4_shape() {
+        // Order-6 train like the paper's Eq. 4.
+        let k = tttc(&[8, 8, 8, 8, 8, 8], 3);
+        assert_eq!(k.inputs.len(), 6); // T + A + 4 middle cores
+        assert_eq!(k.output.indices.len(), 2); // Z(n, b4)
+        assert!(!k.output_sparse);
+        assert_eq!(k.num_indices(), 6 + 5);
+        // Output keeps the last sparse mode and last bond.
+        assert_eq!(k.index_name(k.output.indices[0]), "n");
+        assert_eq!(k.index_name(k.output.indices[1]), "b4");
+    }
+
+    #[test]
+    fn order2_kernels() {
+        // SpMM-like degenerate cases still validate.
+        let k = mttkrp(&[10, 11], 4);
+        assert_eq!(k.to_einsum(), "A(i,a) = T(i,j) * F1(j,a)");
+        let t = tttp(&[10, 11], 4); // SDDMM
+        assert_eq!(t.to_einsum(), "S(i,j) = T(i,j) * F0(i,r) * F1(j,r)");
+    }
+}

@@ -1,0 +1,313 @@
+//! Coordinate-format (COO) sparse tensors.
+//!
+//! COO is the interchange format: generators produce COO, the distributed
+//! layer partitions COO cyclically across the virtual processor grid, and
+//! [`crate::Csf`] is built from sorted COO. Coordinates are stored
+//! structure-of-arrays style (one flat `Vec` with `order` entries per
+//! nonzero) to keep sorting and partitioning cache-friendly.
+
+use crate::{DenseTensor, TensorError};
+
+/// A sparse tensor in coordinate format.
+///
+/// Invariant maintained by all constructors: coordinates are in-bounds.
+/// Sorting/deduplication is explicit via [`CooTensor::sort_dedup`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooTensor {
+    dims: Vec<usize>,
+    /// Flat coordinates: entry `e` occupies `coords[e*order .. (e+1)*order]`.
+    coords: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CooTensor {
+    /// Create an empty COO tensor with the given dimensions.
+    pub fn new(dims: &[usize]) -> Result<Self, TensorError> {
+        if dims.iter().any(|&d| d == 0) {
+            return Err(TensorError::ZeroDim);
+        }
+        Ok(CooTensor {
+            dims: dims.to_vec(),
+            coords: Vec::new(),
+            vals: Vec::new(),
+        })
+    }
+
+    /// Build from parallel coordinate/value lists.
+    pub fn from_entries(
+        dims: &[usize],
+        entries: impl IntoIterator<Item = (Vec<usize>, f64)>,
+    ) -> Result<Self, TensorError> {
+        let mut t = CooTensor::new(dims)?;
+        for (coord, v) in entries {
+            t.push(&coord, v)?;
+        }
+        Ok(t)
+    }
+
+    /// Append one nonzero entry.
+    pub fn push(&mut self, coord: &[usize], v: f64) -> Result<(), TensorError> {
+        if coord.len() != self.dims.len() {
+            return Err(TensorError::OrderMismatch {
+                expected: self.dims.len(),
+                actual: coord.len(),
+            });
+        }
+        for (mode, (&c, &d)) in coord.iter().zip(self.dims.iter()).enumerate() {
+            if c >= d {
+                return Err(TensorError::CoordOutOfBounds { mode, coord: c, dim: d });
+            }
+        }
+        self.coords.extend_from_slice(coord);
+        self.vals.push(v);
+        Ok(())
+    }
+
+    /// Dimensions of the tensor.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of modes.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Number of stored entries (after `sort_dedup`, the nonzero count).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Coordinate of entry `e`.
+    #[inline]
+    pub fn coord(&self, e: usize) -> &[usize] {
+        let d = self.dims.len();
+        &self.coords[e * d..(e + 1) * d]
+    }
+
+    /// Value of entry `e`.
+    #[inline]
+    pub fn val(&self, e: usize) -> f64 {
+        self.vals[e]
+    }
+
+    /// Values slice, parallel with entry order.
+    #[inline]
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Mutable values slice (e.g. for filling an output that shares this
+    /// tensor's sparsity pattern).
+    #[inline]
+    pub fn vals_mut(&mut self) -> &mut [f64] {
+        &mut self.vals
+    }
+
+    /// Iterate `(coordinate, value)` pairs in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[usize], f64)> + '_ {
+        (0..self.nnz()).map(move |e| (self.coord(e), self.vals[e]))
+    }
+
+    /// Sort entries lexicographically by coordinate under the given mode
+    /// order and merge duplicates by summation.
+    ///
+    /// `mode_order[k]` is the original mode compared at position `k`; it
+    /// must be a permutation of `0..order`. Entries whose merged value is
+    /// exactly zero are retained (the sparsity pattern is fixed, as the
+    /// paper assumes: positions, not values, define the structure).
+    pub fn sort_dedup(&mut self, mode_order: &[usize]) -> Result<(), TensorError> {
+        let d = self.dims.len();
+        if !is_permutation(mode_order, d) {
+            return Err(TensorError::InvalidPermutation);
+        }
+        let n = self.nnz();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let coords = &self.coords;
+        perm.sort_unstable_by(|&a, &b| {
+            for &m in mode_order {
+                let ca = coords[a * d + m];
+                let cb = coords[b * d + m];
+                match ca.cmp(&cb) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+
+        let mut new_coords = Vec::with_capacity(self.coords.len());
+        let mut new_vals: Vec<f64> = Vec::with_capacity(n);
+        for &e in &perm {
+            let c = &self.coords[e * d..(e + 1) * d];
+            let dup = !new_vals.is_empty() && {
+                let last = &new_coords[new_coords.len() - d..];
+                last == c
+            };
+            if dup {
+                let lv = new_vals.last_mut().expect("nonempty");
+                *lv += self.vals[e];
+            } else {
+                new_coords.extend_from_slice(c);
+                new_vals.push(self.vals[e]);
+            }
+        }
+        self.coords = new_coords;
+        self.vals = new_vals;
+        Ok(())
+    }
+
+    /// Densify into a [`DenseTensor`] (testing / small-problem oracle).
+    pub fn to_dense(&self) -> DenseTensor {
+        let mut t = DenseTensor::zeros(&self.dims);
+        for (c, v) in self.iter() {
+            t.add(c, v);
+        }
+        t
+    }
+
+    /// Squared Frobenius norm of the stored values.
+    pub fn norm_sq(&self) -> f64 {
+        self.vals.iter().map(|v| v * v).sum()
+    }
+
+    /// Retain only the entries for which `keep` returns true (used by the
+    /// cyclic partitioner). Preserves relative order.
+    pub fn filter(&self, mut keep: impl FnMut(&[usize]) -> bool) -> CooTensor {
+        let d = self.dims.len();
+        let mut out = CooTensor {
+            dims: self.dims.clone(),
+            coords: Vec::new(),
+            vals: Vec::new(),
+        };
+        for e in 0..self.nnz() {
+            let c = &self.coords[e * d..(e + 1) * d];
+            if keep(c) {
+                out.coords.extend_from_slice(c);
+                out.vals.push(self.vals[e]);
+            }
+        }
+        out
+    }
+
+    /// Replace all values, keeping the pattern. Length must match `nnz`.
+    pub fn with_vals(&self, vals: Vec<f64>) -> CooTensor {
+        assert_eq!(vals.len(), self.nnz(), "value count must match pattern");
+        CooTensor {
+            dims: self.dims.clone(),
+            coords: self.coords.clone(),
+            vals,
+        }
+    }
+}
+
+pub(crate) fn is_permutation(p: &[usize], d: usize) -> bool {
+    if p.len() != d {
+        return false;
+    }
+    let mut seen = vec![false; d];
+    for &m in p {
+        if m >= d || seen[m] {
+            return false;
+        }
+        seen[m] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooTensor {
+        CooTensor::from_entries(
+            &[3, 4, 5],
+            vec![
+                (vec![2, 1, 0], 1.0),
+                (vec![0, 0, 0], 2.0),
+                (vec![2, 1, 0], 3.0),
+                (vec![0, 3, 4], 4.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn push_validates_bounds() {
+        let mut t = CooTensor::new(&[2, 2]).unwrap();
+        assert!(t.push(&[1, 1], 1.0).is_ok());
+        assert!(matches!(
+            t.push(&[2, 0], 1.0),
+            Err(TensorError::CoordOutOfBounds { mode: 0, .. })
+        ));
+        assert!(matches!(
+            t.push(&[0], 1.0),
+            Err(TensorError::OrderMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_dim_rejected() {
+        assert!(matches!(CooTensor::new(&[2, 0]), Err(TensorError::ZeroDim)));
+    }
+
+    #[test]
+    fn sort_dedup_merges_duplicates() {
+        let mut t = sample();
+        t.sort_dedup(&[0, 1, 2]).unwrap();
+        assert_eq!(t.nnz(), 3);
+        assert_eq!(t.coord(0), &[0, 0, 0]);
+        assert_eq!(t.coord(1), &[0, 3, 4]);
+        assert_eq!(t.coord(2), &[2, 1, 0]);
+        assert_eq!(t.val(2), 4.0); // 1.0 + 3.0 merged
+    }
+
+    #[test]
+    fn sort_dedup_respects_mode_order() {
+        let mut t = sample();
+        // Sort by mode 2 first: (0,0,0) and (2,1,0) tie on mode 2, then
+        // mode 0 breaks the tie.
+        t.sort_dedup(&[2, 0, 1]).unwrap();
+        assert_eq!(t.coord(0), &[0, 0, 0]);
+        assert_eq!(t.coord(1), &[2, 1, 0]);
+        assert_eq!(t.coord(2), &[0, 3, 4]);
+    }
+
+    #[test]
+    fn sort_dedup_rejects_bad_perm() {
+        let mut t = sample();
+        assert!(t.sort_dedup(&[0, 0, 1]).is_err());
+        assert!(t.sort_dedup(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn to_dense_accumulates() {
+        let t = sample();
+        let d = t.to_dense();
+        assert_eq!(d.get(&[2, 1, 0]), 4.0);
+        assert_eq!(d.get(&[0, 0, 0]), 2.0);
+        assert_eq!(d.get(&[1, 1, 1]), 0.0);
+    }
+
+    #[test]
+    fn filter_partitions() {
+        let mut t = sample();
+        t.sort_dedup(&[0, 1, 2]).unwrap();
+        let even = t.filter(|c| c[0] % 2 == 0);
+        assert_eq!(even.nnz(), 3);
+        let odd = t.filter(|c| c[0] % 2 == 1);
+        assert_eq!(odd.nnz(), 0);
+    }
+
+    #[test]
+    fn with_vals_keeps_pattern() {
+        let mut t = sample();
+        t.sort_dedup(&[0, 1, 2]).unwrap();
+        let s = t.with_vals(vec![9.0; 3]);
+        assert_eq!(s.coord(1), t.coord(1));
+        assert_eq!(s.val(0), 9.0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Compressed Sparse Fiber (CSF) storage.
+//!
+//! CSF stores a sparse tensor as a tree with one level per mode (paper
+//! Sec. 2.2, following Smith & Karypis). Level `k` holds one node per
+//! distinct coordinate prefix of length `k+1`; the node count at level
+//! `k` is exactly `nnz_{I1..I(k+1)}(T)`, the quantity the paper's cost
+//! model is built on. The executor iterates the tree with *sparse loops*:
+//! a loop at level `k` enumerates the children of the current level-`k-1`
+//! node.
+//!
+//! The mode order of the tree is configurable (`mode_order[level]` is the
+//! original tensor mode stored at that level); the paper restricts loop
+//! orders to iterate sparse indices in this storage order.
+
+use crate::coo::is_permutation;
+use crate::{CooTensor, TensorError};
+
+/// One level of the CSF tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsfLevel {
+    /// Coordinate value (in the level's mode) of each node.
+    pub idx: Vec<usize>,
+    /// Child ranges into the next level: node `n` owns
+    /// `idx[ptr[n]..ptr[n+1]]` of level `k+1`. Empty for the last level.
+    pub ptr: Vec<usize>,
+}
+
+/// A sparse tensor in CSF format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csf {
+    /// Dimensions in *original* mode numbering.
+    dims: Vec<usize>,
+    /// `mode_order[level]` = original mode stored at tree level `level`.
+    mode_order: Vec<usize>,
+    levels: Vec<CsfLevel>,
+    /// Nonzero values, parallel with the last level's `idx`.
+    vals: Vec<f64>,
+}
+
+impl Csf {
+    /// Build a CSF tree from a COO tensor under the given mode order.
+    ///
+    /// The input is copied, sorted lexicographically in `mode_order`, and
+    /// deduplicated (duplicate coordinates are summed).
+    pub fn from_coo(coo: &CooTensor, mode_order: &[usize]) -> Result<Self, TensorError> {
+        let d = coo.order();
+        if !is_permutation(mode_order, d) {
+            return Err(TensorError::InvalidPermutation);
+        }
+        let mut sorted = coo.clone();
+        sorted.sort_dedup(mode_order)?;
+        let n = sorted.nnz();
+
+        // Permuted coordinate accessor: coordinate at tree level k of entry e.
+        let pc = |e: usize, k: usize| sorted.coord(e)[mode_order[k]];
+
+        // prefix_change[e]: smallest level at which entry e differs from
+        // entry e-1 (0 for the first entry).
+        let mut prefix_change = vec![0usize; n];
+        for e in 1..n {
+            let mut ell = d; // identical prefixes cannot happen after dedup
+            for k in 0..d {
+                if pc(e, k) != pc(e - 1, k) {
+                    ell = k;
+                    break;
+                }
+            }
+            debug_assert!(ell < d, "duplicate coordinates after dedup");
+            prefix_change[e] = ell;
+        }
+
+        let mut levels: Vec<CsfLevel> = (0..d)
+            .map(|_| CsfLevel {
+                idx: Vec::new(),
+                ptr: Vec::new(),
+            })
+            .collect();
+
+        for e in 0..n {
+            for k in prefix_change[e]..d {
+                levels[k].idx.push(pc(e, k));
+            }
+        }
+
+        // Child pointers for levels 0..d-1.
+        for k in 0..d.saturating_sub(1) {
+            let mut ptr = Vec::with_capacity(levels[k].idx.len() + 1);
+            ptr.push(0usize);
+            let mut children = 0usize;
+            let mut started = false;
+            for e in 0..n {
+                let ell = prefix_change[e];
+                if ell <= k {
+                    if started {
+                        ptr.push(children);
+                    }
+                    started = true;
+                }
+                if ell <= k + 1 {
+                    children += 1;
+                }
+            }
+            if started {
+                ptr.push(children);
+            }
+            debug_assert_eq!(ptr.len(), levels[k].idx.len() + 1);
+            debug_assert_eq!(*ptr.last().unwrap_or(&0), levels[k + 1].idx.len());
+            levels[k].ptr = ptr;
+        }
+
+        let vals = sorted.vals().to_vec();
+        debug_assert_eq!(vals.len(), levels.last().map_or(0, |l| l.idx.len()));
+
+        Ok(Csf {
+            dims: coo.dims().to_vec(),
+            mode_order: mode_order.to_vec(),
+            levels,
+            vals,
+        })
+    }
+
+    /// Dimensions in original mode numbering.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of modes.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Tree mode order (`mode_order[level]` = original mode of that level).
+    #[inline]
+    pub fn mode_order(&self) -> &[usize] {
+        &self.mode_order
+    }
+
+    /// Total nonzero count.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Number of CSF nodes at tree level `k`; equals
+    /// `nnz_{I1..I(k+1)}(T)` in the paper's notation (Sec. 2.2).
+    #[inline]
+    pub fn level_nnz(&self, k: usize) -> usize {
+        self.levels[k].idx.len()
+    }
+
+    /// `nnz` of the length-`k` prefix: `prefix_nnz(0) == 1` (the virtual
+    /// root), `prefix_nnz(order()) == nnz()`.
+    #[inline]
+    pub fn prefix_nnz(&self, k: usize) -> usize {
+        if k == 0 {
+            1
+        } else {
+            self.level_nnz(k - 1)
+        }
+    }
+
+    /// Range of root nodes (level 0).
+    #[inline]
+    pub fn root_range(&self) -> std::ops::Range<usize> {
+        0..self.levels.first().map_or(0, |l| l.idx.len())
+    }
+
+    /// Children of node `node` at level `level` (range into level+1).
+    #[inline]
+    pub fn children(&self, level: usize, node: usize) -> std::ops::Range<usize> {
+        let ptr = &self.levels[level].ptr;
+        ptr[node]..ptr[node + 1]
+    }
+
+    /// Coordinate (in the level's mode) of a node.
+    #[inline]
+    pub fn node_coord(&self, level: usize, node: usize) -> usize {
+        self.levels[level].idx[node]
+    }
+
+    /// Value of leaf `node` (a node of the last level).
+    #[inline]
+    pub fn leaf_val(&self, node: usize) -> f64 {
+        self.vals[node]
+    }
+
+    /// All values in leaf order (for pattern-sharing outputs).
+    #[inline]
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Mutable values (for writing outputs that share this pattern).
+    #[inline]
+    pub fn vals_mut(&mut self) -> &mut [f64] {
+        &mut self.vals
+    }
+
+    /// Direct level access (read-only).
+    #[inline]
+    pub fn level(&self, k: usize) -> &CsfLevel {
+        &self.levels[k]
+    }
+
+    /// Reconstruct the COO representation (entries in tree order, with
+    /// coordinates in *original* mode numbering).
+    pub fn to_coo(&self) -> CooTensor {
+        let d = self.order();
+        let mut out = CooTensor::new(&self.dims).expect("dims validated at construction");
+        let mut stack: Vec<usize> = vec![0; d];
+        let mut coord = vec![0usize; d];
+        self.walk_rec(0, self.root_range(), &mut stack, &mut coord, &mut out);
+        out
+    }
+
+    fn walk_rec(
+        &self,
+        level: usize,
+        range: std::ops::Range<usize>,
+        stack: &mut Vec<usize>,
+        coord: &mut Vec<usize>,
+        out: &mut CooTensor,
+    ) {
+        for node in range {
+            coord[self.mode_order[level]] = self.node_coord(level, node);
+            if level + 1 == self.order() {
+                let c = coord.clone();
+                out.push(&c, self.leaf_val(node)).expect("in-bounds by construction");
+            } else {
+                let ch = self.children(level, node);
+                self.walk_rec(level + 1, ch, stack, coord, out);
+            }
+        }
+    }
+
+    /// A leaf-order iterator over `(original-mode coordinates, value)`.
+    pub fn iter_entries(&self) -> Vec<(Vec<usize>, f64)> {
+        let coo = self.to_coo();
+        coo.iter().map(|(c, v)| (c.to_vec(), v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooTensor {
+        // 3x3x3 tensor with 5 nonzeros.
+        CooTensor::from_entries(
+            &[3, 3, 3],
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 0, 2], 2.0),
+                (vec![0, 1, 0], 3.0),
+                (vec![2, 0, 1], 4.0),
+                (vec![2, 2, 2], 5.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_identity_order() {
+        let csf = Csf::from_coo(&sample(), &[0, 1, 2]).unwrap();
+        assert_eq!(csf.nnz(), 5);
+        // Level 0: distinct i in {0, 2}.
+        assert_eq!(csf.level(0).idx, vec![0, 2]);
+        // Level 1: (0,0), (0,1), (2,0), (2,2).
+        assert_eq!(csf.level(1).idx, vec![0, 1, 0, 2]);
+        assert_eq!(csf.level(0).ptr, vec![0, 2, 4]);
+        // Level 2 leaves in sorted order.
+        assert_eq!(csf.level(2).idx, vec![0, 2, 0, 1, 2]);
+        assert_eq!(csf.level(1).ptr, vec![0, 2, 3, 4, 5]);
+        assert_eq!(csf.vals(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn prefix_nnz_counts() {
+        let csf = Csf::from_coo(&sample(), &[0, 1, 2]).unwrap();
+        assert_eq!(csf.prefix_nnz(0), 1);
+        assert_eq!(csf.prefix_nnz(1), 2); // distinct i
+        assert_eq!(csf.prefix_nnz(2), 4); // distinct (i,j)
+        assert_eq!(csf.prefix_nnz(3), 5); // nnz
+    }
+
+    #[test]
+    fn permuted_mode_order() {
+        // Order modes as (k, i, j).
+        let csf = Csf::from_coo(&sample(), &[2, 0, 1]).unwrap();
+        // Distinct k values: 0, 1, 2.
+        assert_eq!(csf.level(0).idx, vec![0, 1, 2]);
+        assert_eq!(csf.nnz(), 5);
+        // Round-trip back to dense must match.
+        let back = csf.to_coo().to_dense();
+        assert!(back.approx_eq(&sample().to_dense(), 1e-12));
+    }
+
+    #[test]
+    fn roundtrip_coo_csf_coo() {
+        let coo = sample();
+        for order in [[0usize, 1, 2], [1, 2, 0], [2, 1, 0]] {
+            let csf = Csf::from_coo(&coo, &order).unwrap();
+            let dense = csf.to_coo().to_dense();
+            assert!(dense.approx_eq(&coo.to_dense(), 1e-12), "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn duplicates_are_merged() {
+        let coo = CooTensor::from_entries(
+            &[2, 2],
+            vec![(vec![1, 1], 1.0), (vec![1, 1], 2.5), (vec![0, 0], 1.0)],
+        )
+        .unwrap();
+        let csf = Csf::from_coo(&coo, &[0, 1]).unwrap();
+        assert_eq!(csf.nnz(), 2);
+        assert_eq!(csf.to_coo().to_dense().get(&[1, 1]), 3.5);
+    }
+
+    #[test]
+    fn children_ranges_consistent() {
+        let csf = Csf::from_coo(&sample(), &[0, 1, 2]).unwrap();
+        let mut total = 0;
+        for root in csf.root_range() {
+            for mid in csf.children(0, root) {
+                total += csf.children(1, mid).len();
+            }
+        }
+        assert_eq!(total, csf.nnz());
+    }
+
+    #[test]
+    fn bad_mode_order_rejected() {
+        assert!(Csf::from_coo(&sample(), &[0, 1]).is_err());
+        assert!(Csf::from_coo(&sample(), &[0, 0, 1]).is_err());
+    }
+
+    #[test]
+    fn single_mode_tensor() {
+        let coo =
+            CooTensor::from_entries(&[5], vec![(vec![4], 2.0), (vec![1], 1.0)]).unwrap();
+        let csf = Csf::from_coo(&coo, &[0]).unwrap();
+        assert_eq!(csf.level(0).idx, vec![1, 4]);
+        assert_eq!(csf.vals(), &[1.0, 2.0]);
+        assert_eq!(csf.prefix_nnz(1), 2);
+    }
+}

@@ -1,0 +1,279 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates on FROSTT tensors plus randomly generated sparse
+//! tensors of various dimensions and sparsities. The FROSTT datasets are
+//! not redistributable here, so [`frostt_like`] generates random tensors
+//! with the *published shapes and nonzero counts* of those datasets
+//! (optionally scaled down), preserving the op counts and memory
+//! behaviour of each kernel — SpTTN costs are data-independent given the
+//! pattern. [`skewed_coo`] additionally provides power-law fiber-density
+//! skew for sensitivity studies.
+
+use crate::{CooTensor, DenseTensor, TensorError};
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Generate a dense tensor with i.i.d. uniform values in `[-1, 1)`.
+pub fn random_dense<R: Rng + ?Sized>(dims: &[usize], rng: &mut R) -> DenseTensor {
+    let dist = Uniform::new(-1.0f64, 1.0);
+    let mut t = DenseTensor::zeros(dims);
+    for v in t.as_mut_slice() {
+        *v = dist.sample(rng);
+    }
+    t
+}
+
+fn pack(coord: &[usize], dims: &[usize]) -> u128 {
+    let mut key = 0u128;
+    for (c, d) in coord.iter().zip(dims) {
+        key = key * (*d as u128) + *c as u128;
+    }
+    key
+}
+
+/// Generate a sparse COO tensor with exactly `nnz` distinct uniformly
+/// random coordinates and uniform values in `[-1, 1)`.
+///
+/// Errors if `nnz` exceeds the number of cells or the coordinate space
+/// does not fit in 128 bits.
+pub fn random_coo<R: Rng + ?Sized>(
+    dims: &[usize],
+    nnz: usize,
+    rng: &mut R,
+) -> Result<CooTensor, TensorError> {
+    let mut cells = 1u128;
+    for &d in dims {
+        if d == 0 {
+            return Err(TensorError::ZeroDim);
+        }
+        cells = cells.saturating_mul(d as u128);
+    }
+    if (nnz as u128) > cells {
+        return Err(TensorError::CoordOutOfBounds {
+            mode: 0,
+            coord: nnz,
+            dim: cells.min(usize::MAX as u128) as usize,
+        });
+    }
+    let vdist = Uniform::new(-1.0f64, 1.0);
+    let mut seen: HashSet<u128> = HashSet::with_capacity(nnz * 2);
+    let mut coo = CooTensor::new(dims)?;
+    let mut coord = vec![0usize; dims.len()];
+    while seen.len() < nnz {
+        for (k, &d) in dims.iter().enumerate() {
+            coord[k] = rng.gen_range(0..d);
+        }
+        if seen.insert(pack(&coord, dims)) {
+            coo.push(&coord, vdist.sample(rng))?;
+        }
+    }
+    coo.sort_dedup(&identity_order(dims.len()))?;
+    Ok(coo)
+}
+
+/// Generate a sparse COO tensor whose coordinates follow a power-law
+/// distribution per mode: coordinate `c = floor(dim * u^alpha)` for
+/// uniform `u`, so larger `alpha` concentrates nonzeros in low indices
+/// (dense fibers near the origin, long sparse tail — typical of
+/// real-world FROSTT tensors).
+///
+/// At most `nnz` entries are returned; heavy skew may produce fewer
+/// distinct coordinates, in which case generation stops after a bounded
+/// number of attempts.
+pub fn skewed_coo<R: Rng + ?Sized>(
+    dims: &[usize],
+    nnz: usize,
+    alpha: f64,
+    rng: &mut R,
+) -> Result<CooTensor, TensorError> {
+    if dims.iter().any(|&d| d == 0) {
+        return Err(TensorError::ZeroDim);
+    }
+    let vdist = Uniform::new(-1.0f64, 1.0);
+    let mut seen: HashSet<u128> = HashSet::with_capacity(nnz * 2);
+    let mut coo = CooTensor::new(dims)?;
+    let mut coord = vec![0usize; dims.len()];
+    let max_attempts = nnz.saturating_mul(64).max(1024);
+    let mut attempts = 0usize;
+    while seen.len() < nnz && attempts < max_attempts {
+        attempts += 1;
+        for (k, &d) in dims.iter().enumerate() {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            coord[k] = ((d as f64) * u.powf(alpha)).floor().min((d - 1) as f64) as usize;
+        }
+        if seen.insert(pack(&coord, dims)) {
+            coo.push(&coord, vdist.sample(rng))?;
+        }
+    }
+    coo.sort_dedup(&identity_order(dims.len()))?;
+    Ok(coo)
+}
+
+fn identity_order(d: usize) -> Vec<usize> {
+    (0..d).collect()
+}
+
+/// Published shape/nnz statistics of the datasets used in the paper's
+/// evaluation (FROSTT repository plus the 1998 DARPA intrusion-detection
+/// tensor). Values are the publicly documented dataset statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrosttPreset {
+    /// NELL-2: 12092 x 9184 x 28818, ~76.9M nonzeros.
+    Nell2,
+    /// NIPS publications: 2482 x 2862 x 14036 x 17, ~3.1M nonzeros.
+    Nips,
+    /// Enron emails: 6066 x 5699 x 244268 x 1176, ~54.2M nonzeros.
+    Enron,
+    /// VAST 2015 Mini-Challenge 1 (3-d): 165427 x 11374 x 2, ~26M nonzeros.
+    Vast3d,
+    /// 1998 DARPA intrusion detection: 22476 x 22476 x 23776223, ~28.4M.
+    Darpa,
+}
+
+impl FrosttPreset {
+    /// Published dimensions of the dataset.
+    pub fn dims(self) -> Vec<usize> {
+        match self {
+            FrosttPreset::Nell2 => vec![12092, 9184, 28818],
+            FrosttPreset::Nips => vec![2482, 2862, 14036, 17],
+            FrosttPreset::Enron => vec![6066, 5699, 244268, 1176],
+            FrosttPreset::Vast3d => vec![165427, 11374, 2],
+            FrosttPreset::Darpa => vec![22476, 22476, 23776223],
+        }
+    }
+
+    /// Published nonzero count of the dataset.
+    pub fn nnz(self) -> usize {
+        match self {
+            FrosttPreset::Nell2 => 76_879_419,
+            FrosttPreset::Nips => 3_101_609,
+            FrosttPreset::Enron => 54_202_099,
+            FrosttPreset::Vast3d => 26_021_945,
+            FrosttPreset::Darpa => 28_436_033,
+        }
+    }
+
+    /// Dataset name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrosttPreset::Nell2 => "nell-2",
+            FrosttPreset::Nips => "nips",
+            FrosttPreset::Enron => "enron",
+            FrosttPreset::Vast3d => "vast-3d",
+            FrosttPreset::Darpa => "darpa",
+        }
+    }
+
+    /// All presets, in the order the paper lists them.
+    pub fn all() -> [FrosttPreset; 5] {
+        [
+            FrosttPreset::Nell2,
+            FrosttPreset::Nips,
+            FrosttPreset::Enron,
+            FrosttPreset::Vast3d,
+            FrosttPreset::Darpa,
+        ]
+    }
+}
+
+/// Generate a random tensor with the shape of a FROSTT dataset, scaled.
+///
+/// `scale` in `(0, 1]` multiplies every dimension; the nonzero count is
+/// scaled to preserve the dataset's density (`nnz * scale^order`), with
+/// a floor of 1. `scale = 1.0` reproduces the full published shape.
+pub fn frostt_like<R: Rng + ?Sized>(
+    preset: FrosttPreset,
+    scale: f64,
+    rng: &mut R,
+) -> Result<CooTensor, TensorError> {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    let dims: Vec<usize> = preset
+        .dims()
+        .iter()
+        .map(|&d| ((d as f64 * scale).ceil() as usize).max(1))
+        .collect();
+    let order = dims.len();
+    let nnz = ((preset.nnz() as f64) * scale.powi(order as i32))
+        .round()
+        .max(1.0) as usize;
+    let mut cells = 1u128;
+    for &d in &dims {
+        cells = cells.saturating_mul(d as u128);
+    }
+    let nnz = nnz.min(cells.min(usize::MAX as u128) as usize);
+    random_coo(&dims, nnz, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn random_dense_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = random_dense(&[4, 5], &mut rng);
+        assert!(t.as_slice().iter().all(|v| (-1.0..1.0).contains(v)));
+        assert!(t.norm() > 0.0);
+    }
+
+    #[test]
+    fn random_coo_exact_nnz_distinct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = random_coo(&[10, 10, 10], 200, &mut rng).unwrap();
+        assert_eq!(t.nnz(), 200);
+        // Distinctness: dedup is a no-op.
+        let mut t2 = t.clone();
+        t2.sort_dedup(&[0, 1, 2]).unwrap();
+        assert_eq!(t2.nnz(), 200);
+    }
+
+    #[test]
+    fn random_coo_full_density() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = random_coo(&[3, 3], 9, &mut rng).unwrap();
+        assert_eq!(t.nnz(), 9);
+        assert!(random_coo(&[3, 3], 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn skewed_concentrates_low_indices() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = skewed_coo(&[1000, 1000], 2000, 3.0, &mut rng).unwrap();
+        assert!(t.nnz() > 0);
+        let low = t.iter().filter(|(c, _)| c[0] < 200).count();
+        // u^3 < 0.2 for u < 0.585: well over half the mass below index 200.
+        assert!(
+            low * 2 > t.nnz(),
+            "expected most coordinates below 200, got {low}/{}",
+            t.nnz()
+        );
+    }
+
+    #[test]
+    fn frostt_like_scaled_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = frostt_like(FrosttPreset::Nips, 0.01, &mut rng).unwrap();
+        assert_eq!(t.dims().len(), 4);
+        assert_eq!(t.dims()[0], 25); // ceil(2482 * 0.01)
+        assert!(t.nnz() > 0);
+    }
+
+    #[test]
+    fn presets_expose_paper_stats() {
+        assert_eq!(FrosttPreset::Nell2.dims(), vec![12092, 9184, 28818]);
+        assert_eq!(FrosttPreset::Darpa.nnz(), 28_436_033);
+        assert_eq!(FrosttPreset::all().len(), 5);
+        for p in FrosttPreset::all() {
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let a = random_coo(&[20, 20, 20], 50, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = random_coo(&[20, 20, 20], 50, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+}

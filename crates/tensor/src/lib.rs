@@ -1,0 +1,71 @@
+//! # spttn-tensor
+//!
+//! Tensor substrate for the SpTTN loop-nest framework: dense strided
+//! tensors, sparse tensors in coordinate (COO) and Compressed Sparse Fiber
+//! (CSF) formats, data-independent sparsity profiles, and synthetic
+//! workload generators mirroring the datasets of the SPAA 2024 paper
+//! *"Minimum Cost Loop Nests for Contraction of a Sparse Tensor with a
+//! Tensor Network"*.
+//!
+//! The CSF format ([`Csf`]) is the storage the paper's runtime iterates
+//! over: a tree with one level per tensor mode, where the number of nodes
+//! at level `k` equals `nnz_{I1..Ik}(T)` — the nonzero count of the
+//! reduced tensor obtained by summing away trailing modes (paper
+//! Sec. 2.2). Those per-level counts drive the planner's asymptotic cost
+//! model, so they are exposed both from concrete data ([`Csf::prefix_nnz`])
+//! and from the data-independent [`SparsityProfile`].
+
+pub mod coo;
+pub mod csf;
+pub mod dense;
+pub mod gen;
+pub mod profile;
+
+pub use coo::CooTensor;
+pub use csf::{Csf, CsfLevel};
+pub use dense::DenseTensor;
+pub use gen::{frostt_like, random_coo, random_dense, skewed_coo, FrosttPreset};
+pub use profile::SparsityProfile;
+
+/// Errors produced by tensor construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// A coordinate lies outside the tensor dimensions.
+    CoordOutOfBounds {
+        /// Mode in which the violation occurred.
+        mode: usize,
+        /// Offending coordinate value.
+        coord: usize,
+        /// Dimension of that mode.
+        dim: usize,
+    },
+    /// Number of coordinates in an entry does not match the tensor order.
+    OrderMismatch {
+        /// Expected order (number of modes).
+        expected: usize,
+        /// Actual number of coordinates supplied.
+        actual: usize,
+    },
+    /// A supplied mode permutation is not a permutation of `0..order`.
+    InvalidPermutation,
+    /// Shape with a zero-sized mode (unsupported).
+    ZeroDim,
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::CoordOutOfBounds { mode, coord, dim } => write!(
+                f,
+                "coordinate {coord} out of bounds for mode {mode} of dimension {dim}"
+            ),
+            TensorError::OrderMismatch { expected, actual } => {
+                write!(f, "expected {expected} coordinates per entry, got {actual}")
+            }
+            TensorError::InvalidPermutation => write!(f, "invalid mode permutation"),
+            TensorError::ZeroDim => write!(f, "tensors with zero-sized modes are unsupported"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
