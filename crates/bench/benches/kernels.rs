@@ -1,1 +1,46 @@
-fn main() {}
+//! End-to-end kernel execution: plan once, execute repeatedly — the
+//! hot path a serving deployment would run.
+//!
+//! Run with `cargo bench -p spttn-bench --bench kernels`.
+
+use rand::prelude::*;
+use spttn::ir::{stdkernels, Kernel};
+use spttn::tensor::{random_coo, random_dense, Csf};
+use spttn::{Contraction, CostModel, PlanOptions};
+use spttn_bench::{black_box, Harness};
+
+fn plan_for(kernel: &Kernel, nnz: usize, seed: u64) -> spttn::Plan {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sparse_dims = kernel.ref_dims(kernel.sparse_ref());
+    let coo = random_coo(&sparse_dims, nnz, &mut rng).unwrap();
+    let order: Vec<usize> = (0..coo.order()).collect();
+    let csf = Csf::from_coo(&coo, &order).unwrap();
+    let mut c = Contraction::from_kernel(kernel.clone()).with_sparse_input(csf);
+    for (slot, r) in kernel.inputs.iter().enumerate() {
+        if slot == kernel.sparse_input {
+            continue;
+        }
+        c = c.with_factor(&r.name, random_dense(&kernel.ref_dims(r), &mut rng));
+    }
+    c.plan(PlanOptions::with_cost_model(CostModel::BlasAware {
+        buffer_dim_bound: 2,
+    }))
+    .expect("plan succeeds")
+}
+
+fn main() {
+    let suite: Vec<(&str, Kernel, usize)> = vec![
+        ("mttkrp-3d-64", stdkernels::mttkrp(&[64, 64, 64], 16), 8000),
+        ("ttmc-3d-64", stdkernels::ttmc(&[64, 64, 64], &[8, 8]), 8000),
+        ("tttp-3d-64", stdkernels::tttp(&[64, 64, 64], 8), 8000),
+    ];
+    let mut h = Harness::new("Plan::execute (fused nests)");
+    for (name, kernel, nnz) in &suite {
+        let plan = plan_for(kernel, *nnz, 7);
+        h.bench_function(name, move || {
+            let out = plan.execute().expect("execution succeeds");
+            black_box(out.to_dense().sum());
+        });
+    }
+    h.finish();
+}

@@ -1,1 +1,63 @@
-fn main() {}
+//! Microkernel throughput: the BLAS-style kernels the executor
+//! dispatches innermost dense loops to.
+//!
+//! Run with `cargo bench -p spttn-bench --bench microkernels`.
+
+use rand::prelude::*;
+use spttn::exec::blas;
+use spttn::tensor::random_vec as rand_vec;
+use spttn_bench::{black_box, Harness};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let n = 4096usize;
+    let x = rand_vec(n, &mut rng);
+    let z = rand_vec(n, &mut rng);
+    let mut y = vec![0.0; n];
+
+    let mut h = Harness::new("BLAS microkernels").with_runs(5, 20);
+    h.bench_function("axpy-4096", || {
+        for _ in 0..256 {
+            blas::axpy(n, 1.0001, &x, 1, &mut y, 1);
+        }
+        black_box(y[0]);
+    });
+    h.bench_function("dot-4096", || {
+        let mut acc = 0.0;
+        for _ in 0..256 {
+            acc += blas::dot(n, &x, 1, &z, 1);
+        }
+        black_box(acc);
+    });
+    h.bench_function("xmul-4096", || {
+        for _ in 0..256 {
+            blas::xmul(n, 1.0, &x, 1, &z, 1, &mut y, 1);
+        }
+        black_box(y[0]);
+    });
+
+    let m = 256usize;
+    let k = 256usize;
+    let a = rand_vec(m * k, &mut rng);
+    let b = rand_vec(k * m, &mut rng);
+    let mut c = vec![0.0; m * m];
+    h.bench_function("gemm-256", || {
+        blas::gemm(m, m, k, 1.0, &a, &b, &mut c);
+        black_box(c[0]);
+    });
+    let xv = rand_vec(k, &mut rng);
+    let mut yv = vec![0.0; m];
+    h.bench_function("gemv-256", || {
+        for _ in 0..64 {
+            blas::gemv(m, k, 1.0, &a, k, 1, &xv, 1, &mut yv, 1);
+        }
+        black_box(yv[0]);
+    });
+    h.bench_function("ger-256", || {
+        for _ in 0..64 {
+            blas::ger(m, k, 1.0, &yv, 1, &xv, 1, &mut c, k, 1);
+        }
+        black_box(c[0]);
+    });
+    h.finish();
+}

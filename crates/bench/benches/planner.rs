@@ -1,1 +1,79 @@
-fn main() {}
+//! Planner benchmark: `spttn::Contraction::plan` over the stdkernels
+//! suite, per cost model — the perf baseline future planner PRs are
+//! measured against.
+//!
+//! Run with `cargo bench -p spttn-bench --bench planner`.
+
+use rand::prelude::*;
+use spttn::ir::{stdkernels, Kernel};
+use spttn::tensor::{random_coo, random_dense, Csf};
+use spttn::{Contraction, CostModel, PlanOptions};
+use spttn_bench::{black_box, Harness};
+
+/// Build a bound contraction for a kernel with random operands.
+fn bound(kernel: &Kernel, nnz: usize, seed: u64) -> Contraction {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sparse_dims = kernel.ref_dims(kernel.sparse_ref());
+    let coo = random_coo(&sparse_dims, nnz, &mut rng).unwrap();
+    let order: Vec<usize> = (0..coo.order()).collect();
+    let csf = Csf::from_coo(&coo, &order).unwrap();
+    let mut c = Contraction::from_kernel(kernel.clone()).with_sparse_input(csf);
+    for (slot, r) in kernel.inputs.iter().enumerate() {
+        if slot == kernel.sparse_input {
+            continue;
+        }
+        c = c.with_factor(&r.name, random_dense(&kernel.ref_dims(r), &mut rng));
+    }
+    c
+}
+
+fn main() {
+    let suite: Vec<(&str, Kernel)> = vec![
+        ("mttkrp-3d", stdkernels::mttkrp(&[64, 64, 64], 16)),
+        ("ttmc-3d", stdkernels::ttmc(&[64, 64, 64], &[8, 8])),
+        ("ttmc-4d", stdkernels::ttmc(&[16, 16, 16, 16], &[4, 4, 4])),
+        ("tttp-3d", stdkernels::tttp(&[64, 64, 64], 8)),
+        (
+            "all-mode-ttmc-3d",
+            stdkernels::all_mode_ttmc(&[32, 32, 32], &[8, 8, 8]),
+        ),
+        ("tttc-4d", stdkernels::tttc(&[12, 12, 12, 12], 4)),
+    ];
+    let models = [
+        ("bufdim", CostModel::MaxBufferDim),
+        ("bufsize", CostModel::MaxBufferSize),
+        ("cache", CostModel::CacheMiss { d: 1 }),
+        (
+            "blas",
+            CostModel::BlasAware {
+                buffer_dim_bound: 2,
+            },
+        ),
+    ];
+
+    let mut h = Harness::new("Contraction::plan (stdkernels suite)");
+    for (kname, kernel) in &suite {
+        let c = bound(
+            kernel,
+            2000.min(
+                kernel
+                    .ref_dims(kernel.sparse_ref())
+                    .iter()
+                    .product::<usize>()
+                    / 4,
+            ),
+            42,
+        );
+        for (mname, model) in &models {
+            let c = c.clone();
+            h.bench_function(&format!("{kname}/{mname}"), move || {
+                let plan = c
+                    .clone()
+                    .plan(PlanOptions::with_cost_model(*model))
+                    .expect("plan succeeds");
+                black_box(plan.flops);
+            });
+        }
+    }
+    h.finish();
+}

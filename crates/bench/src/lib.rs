@@ -1,1 +1,98 @@
-//! placeholder
+//! # spttn-bench
+//!
+//! A minimal, self-contained timing harness plus shared fixtures for
+//! the workspace benchmarks.
+//!
+//! The build environment is fully offline, so the usual `criterion`
+//! dev-dependency cannot be fetched; [`Harness`] mirrors the small
+//! slice of its API the benches need (`bench_function` + `iter`) so the
+//! bench sources can be ported to real criterion by swapping one
+//! import once a registry is available. Results print as a fixed-width
+//! table of per-iteration times (median / mean / min over timed runs).
+
+use std::time::Instant;
+
+/// Simple benchmark runner: warmup runs, timed runs, table output.
+pub struct Harness {
+    name: String,
+    warmup: usize,
+    runs: usize,
+    results: Vec<(String, Vec<f64>)>,
+}
+
+impl Harness {
+    /// Create a harness for a named bench group.
+    pub fn new(name: &str) -> Self {
+        // Keep wall-clock modest: benches are a perf *baseline*, not a
+        // statistics suite.
+        Harness {
+            name: name.to_string(),
+            warmup: 3,
+            runs: 10,
+            results: Vec::new(),
+        }
+    }
+
+    /// Override (warmup, timed) run counts.
+    pub fn with_runs(mut self, warmup: usize, runs: usize) -> Self {
+        self.warmup = warmup;
+        self.runs = runs.max(1);
+        self
+    }
+
+    /// Time one closure; the closure is one full iteration.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut()) {
+        for _ in 0..self.warmup {
+            f();
+        }
+        let mut samples = Vec::with_capacity(self.runs);
+        for _ in 0..self.runs {
+            let t0 = Instant::now();
+            f();
+            samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        self.results.push((id.to_string(), samples));
+    }
+
+    /// Print the result table and return the raw samples.
+    pub fn finish(self) -> Vec<(String, Vec<f64>)> {
+        println!("\n== {} ==", self.name);
+        println!(
+            "{:<44} {:>10} {:>10} {:>10}",
+            "bench", "median", "mean", "min"
+        );
+        for (id, samples) in &self.results {
+            let mut sorted = samples.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median = sorted[sorted.len() / 2];
+            let mean: f64 = sorted.iter().sum::<f64>() / sorted.len() as f64;
+            println!(
+                "{:<44} {:>8.3}ms {:>8.3}ms {:>8.3}ms",
+                id, median, mean, sorted[0]
+            );
+        }
+        self.results
+    }
+}
+
+/// Black-box helper: keep the optimizer from eliding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_records_every_bench() {
+        let mut h = Harness::new("unit").with_runs(1, 3);
+        let mut n = 0u64;
+        h.bench_function("count", || n += 1);
+        h.bench_function("noop", || {});
+        let results = h.finish();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].1.len(), 3);
+        assert_eq!(n, 4); // 1 warmup + 3 timed
+    }
+}

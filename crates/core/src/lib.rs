@@ -1,1 +1,102 @@
-//! placeholder
+//! # spttn-core
+//!
+//! Shared vocabulary for the spttn workspace: the unified error type
+//! every layer converges to, and the scalar/result aliases the rest of
+//! the stack builds on.
+//!
+//! The lower layers each define precise, local error enums
+//! ([`spttn_ir::KernelError`], [`spttn_ir::FuseError`],
+//! [`spttn_tensor::TensorError`]); this crate folds them into one
+//! [`SpttnError`] so the `spttn` facade presents a single error surface
+//! for the whole parse → plan → execute pipeline.
+
+use spttn_ir::{FuseError, KernelError};
+use spttn_tensor::TensorError;
+
+/// Element type of every tensor in the workspace.
+pub type Scalar = f64;
+
+/// Result alias used across the facade and executor.
+pub type Result<T> = std::result::Result<T, SpttnError>;
+
+/// Unified error for the parse → plan → execute pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpttnError {
+    /// Kernel specification or einsum parsing failed.
+    Kernel(KernelError),
+    /// Fused-forest construction rejected the loop orders.
+    Fuse(FuseError),
+    /// Tensor construction or validation failed.
+    Tensor(TensorError),
+    /// The planner could not produce a feasible loop nest.
+    Planning(String),
+    /// Bound operands disagree with the kernel's index structure.
+    Shape(String),
+    /// The executor was driven with inconsistent inputs.
+    Execution(String),
+}
+
+impl std::fmt::Display for SpttnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpttnError::Kernel(e) => write!(f, "kernel error: {e}"),
+            SpttnError::Fuse(e) => write!(f, "fusion error: {e}"),
+            SpttnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            SpttnError::Planning(m) => write!(f, "planning error: {m}"),
+            SpttnError::Shape(m) => write!(f, "shape error: {m}"),
+            SpttnError::Execution(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpttnError {}
+
+impl From<KernelError> for SpttnError {
+    fn from(e: KernelError) -> Self {
+        SpttnError::Kernel(e)
+    }
+}
+
+impl From<FuseError> for SpttnError {
+    fn from(e: FuseError) -> Self {
+        SpttnError::Fuse(e)
+    }
+}
+
+impl From<TensorError> for SpttnError {
+    fn from(e: TensorError) -> Self {
+        SpttnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_payload() {
+        let k: SpttnError = KernelError::NoInputs.into();
+        assert_eq!(k, SpttnError::Kernel(KernelError::NoInputs));
+        let t: SpttnError = TensorError::ZeroDim.into();
+        assert!(matches!(t, SpttnError::Tensor(TensorError::ZeroDim)));
+        let u: SpttnError = FuseError::WrongArity.into();
+        assert!(matches!(u, SpttnError::Fuse(FuseError::WrongArity)));
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        let e = SpttnError::Planning("no feasible nest".into());
+        assert_eq!(e.to_string(), "planning error: no feasible nest");
+        let k: SpttnError = KernelError::NoInputs.into();
+        assert!(k.to_string().starts_with("kernel error:"));
+    }
+
+    #[test]
+    fn question_mark_composes() {
+        fn inner() -> Result<()> {
+            Err(TensorError::ZeroDim)?;
+            Ok(())
+        }
+        assert!(matches!(inner(), Err(SpttnError::Tensor(_))));
+    }
+}

@@ -37,8 +37,14 @@ impl PartialOrd for BlasValue {
             (Infeasible, Feasible { .. }) => Some(Greater),
             (Feasible { .. }, Infeasible) => Some(Less),
             (
-                Feasible { blas: b1, buf_size: s1 },
-                Feasible { blas: b2, buf_size: s2 },
+                Feasible {
+                    blas: b1,
+                    buf_size: s1,
+                },
+                Feasible {
+                    blas: b2,
+                    buf_size: s2,
+                },
             ) => Some(b2.cmp(b1).then(s1.cmp(s2))), // more blas = smaller cost
         }
     }
@@ -73,8 +79,14 @@ impl TreeCost for BlasAware {
     fn combine(&self, a: &BlasValue, b: &BlasValue) -> BlasValue {
         match (a, b) {
             (
-                BlasValue::Feasible { blas: b1, buf_size: s1 },
-                BlasValue::Feasible { blas: b2, buf_size: s2 },
+                BlasValue::Feasible {
+                    blas: b1,
+                    buf_size: s1,
+                },
+                BlasValue::Feasible {
+                    blas: b2,
+                    buf_size: s2,
+                },
             ) => BlasValue::Feasible {
                 blas: b1 + b2,
                 buf_size: *s1.max(s2),
@@ -94,10 +106,7 @@ impl TreeCost for BlasAware {
         // sparse-lineage index of that term left to iterate beneath.
         let offloadable = ctx.kind == VertexKind::Dense && ctx.hi - ctx.lo == 1 && {
             let term = &ctx.path.terms[ctx.lo];
-            let below = term
-                .iter_inds()
-                .minus(ctx.removed)
-                .remove(ctx.index);
+            let below = term.iter_inds().minus(ctx.removed).remove(ctx.index);
             !term.lineage().intersects(below)
         };
         BlasValue::Feasible {
@@ -160,7 +169,14 @@ mod tests {
     fn buffer_bound_infeasibility() {
         let k = parse_kernel(
             "S(r,s,t) = T(i,j,k) * U(i,r) * V(j,s) * W(k,t)",
-            &[("i", 32), ("j", 32), ("k", 32), ("r", 8), ("s", 8), ("t", 8)],
+            &[
+                ("i", 32),
+                ("j", 32),
+                ("k", 32),
+                ("r", 8),
+                ("s", 8),
+                ("t", 8),
+            ],
         )
         .unwrap();
         // Path (T*W) -> X(i,j,t,...); then *V; then *U.
@@ -169,32 +185,56 @@ mod tests {
         // Loop nest #2 (bound 2): orders (i,j,k,t),(i,j,s,t),(i,r,s,t):
         // buffers X{t} (1-d) and Y{s,t} (2-d).
         let nest2 = NestSpec {
-            orders: vec![
-                vec![0, 1, 2, 5],
-                vec![0, 1, 4, 5],
-                vec![0, 3, 4, 5],
-            ],
+            orders: vec![vec![0, 1, 2, 5], vec![0, 1, 4, 5], vec![0, 3, 4, 5]],
         };
         let f2 = build_forest(&k, &p, &nest2).unwrap();
-        let v2_bound2 = eval_forest(&k, &p, &prof, &f2, &BlasAware { buffer_dim_bound: 2 });
+        let v2_bound2 = eval_forest(
+            &k,
+            &p,
+            &prof,
+            &f2,
+            &BlasAware {
+                buffer_dim_bound: 2,
+            },
+        );
         assert!(matches!(v2_bound2, BlasValue::Feasible { .. }));
-        let v2_bound1 = eval_forest(&k, &p, &prof, &f2, &BlasAware { buffer_dim_bound: 1 });
+        let v2_bound1 = eval_forest(
+            &k,
+            &p,
+            &prof,
+            &f2,
+            &BlasAware {
+                buffer_dim_bound: 1,
+            },
+        );
         assert_eq!(v2_bound1, BlasValue::Infeasible);
 
         // Loop nest #1 (bound 1): orders (i,t,j,k),(i,t,j,s),(i,t,r,s):
         // buffers X{} (scalar) and Y{s} (1-d).
         let nest1 = NestSpec {
-            orders: vec![
-                vec![0, 5, 1, 2],
-                vec![0, 5, 1, 4],
-                vec![0, 5, 3, 4],
-            ],
+            orders: vec![vec![0, 5, 1, 2], vec![0, 5, 1, 4], vec![0, 5, 3, 4]],
         };
         let f1 = build_forest(&k, &p, &nest1).unwrap();
-        let v1 = eval_forest(&k, &p, &prof, &f1, &BlasAware { buffer_dim_bound: 1 });
+        let v1 = eval_forest(
+            &k,
+            &p,
+            &prof,
+            &f1,
+            &BlasAware {
+                buffer_dim_bound: 1,
+            },
+        );
         assert!(matches!(v1, BlasValue::Feasible { .. }));
         // Nest #2 offers strictly more BLAS loops than nest #1 at bound 2.
-        let v1_b2 = eval_forest(&k, &p, &prof, &f1, &BlasAware { buffer_dim_bound: 2 });
+        let v1_b2 = eval_forest(
+            &k,
+            &p,
+            &prof,
+            &f1,
+            &BlasAware {
+                buffer_dim_bound: 2,
+            },
+        );
         assert!(v2_bound2 < v1_b2, "{v2_bound2:?} vs {v1_b2:?}");
     }
 
@@ -238,10 +278,19 @@ mod tests {
 
     #[test]
     fn ordering_semantics() {
-        let a = BlasValue::Feasible { blas: 5, buf_size: 10 };
-        let b = BlasValue::Feasible { blas: 3, buf_size: 1 };
+        let a = BlasValue::Feasible {
+            blas: 5,
+            buf_size: 10,
+        };
+        let b = BlasValue::Feasible {
+            blas: 3,
+            buf_size: 1,
+        };
         assert!(a < b); // more blas wins despite bigger buffer
-        let c = BlasValue::Feasible { blas: 5, buf_size: 4 };
+        let c = BlasValue::Feasible {
+            blas: 5,
+            buf_size: 4,
+        };
         assert!(c < a); // equal blas: smaller buffer wins
         assert!(a < BlasValue::Infeasible);
         assert!(BlasAware::default().is_feasible(&a));

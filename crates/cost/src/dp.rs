@@ -304,7 +304,11 @@ mod tests {
         )
         .unwrap();
         let prof = SparsityProfile::uniform(&[8, 9, 10], &[0, 1, 2], 100).unwrap();
-        for picks in [[(0usize, 2usize), (0, 1)], [(0, 1), (0, 1)], [(1, 2), (0, 1)]] {
+        for picks in [
+            [(0usize, 2usize), (0, 1)],
+            [(0, 1), (0, 1)],
+            [(1, 2), (0, 1)],
+        ] {
             let p = path_from_picks(&k, &picks);
             let dp = optimal_order(&k, &p, &prof, &MaxBufferSize).unwrap();
             let ex = exhaustive_search(&k, &p, &prof, &MaxBufferSize).unwrap();

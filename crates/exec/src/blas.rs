@@ -47,7 +47,17 @@ pub fn dot(n: usize, x: &[f64], incx: usize, y: &[f64], incy: usize) -> f64 {
 /// `y[i*incy] += alpha * x[i*incx] * z[i*incz]` — the pointwise ternary
 /// loop SpTTN leaves need when an index lives in all three tensors.
 #[inline]
-pub fn xmul(n: usize, alpha: f64, x: &[f64], incx: usize, z: &[f64], incz: usize, y: &mut [f64], incy: usize) {
+#[allow(clippy::too_many_arguments)] // BLAS-conventional signature
+pub fn xmul(
+    n: usize,
+    alpha: f64,
+    x: &[f64],
+    incx: usize,
+    z: &[f64],
+    incz: usize,
+    y: &mut [f64],
+    incy: usize,
+) {
     if incx == 1 && incz == 1 && incy == 1 {
         let (x, z, y) = (&x[..n], &z[..n], &mut y[..n]);
         for i in 0..n {
@@ -77,6 +87,7 @@ pub fn scal(n: usize, alpha: f64, x: &mut [f64], incx: usize) {
 /// Rank-1 update `a[i*rs + j*cs] += alpha * x[i*incx] * y[j*incy]`
 /// for `i in 0..m, j in 0..n` (xGER).
 #[inline]
+#[allow(clippy::too_many_arguments)] // BLAS-conventional signature
 pub fn ger(
     m: usize,
     n: usize,
@@ -114,6 +125,7 @@ pub fn ger(
 /// `y[i] += alpha * Σ_j a[i*rs + j*cs] * x[j*incx]` (xGEMV, row-major
 /// when `cs == 1`).
 #[inline]
+#[allow(clippy::too_many_arguments)] // BLAS-conventional signature
 pub fn gemv(
     m: usize,
     n: usize,
@@ -145,15 +157,7 @@ pub fn gemv(
 
 /// `c[i,j] += alpha * Σ_k a[i,k] * b[k,j]`, all row-major dense
 /// (xGEMM, ijk-blocked enough for the example workloads).
-pub fn gemm(
-    m: usize,
-    n: usize,
-    k: usize,
-    alpha: f64,
-    a: &[f64],
-    b: &[f64],
-    c: &mut [f64],
-) {
+pub fn gemm(m: usize, n: usize, k: usize, alpha: f64, a: &[f64], b: &[f64], c: &mut [f64]) {
     assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];

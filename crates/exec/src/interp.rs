@@ -1,0 +1,786 @@
+//! Loop-forest interpreter.
+//!
+//! Executes a planned fused loop nest ([`LoopForest`]) over a CSF sparse
+//! tensor and dense factor operands, producing the kernel output. The
+//! interpreter realizes the paper's execution model directly:
+//!
+//! - **Sparse vertices** iterate the children of the current CSF node at
+//!   their level; the descent is tracked per level, and when a sparse
+//!   loop sits below a *densely* iterated sparse mode the node is
+//!   re-resolved by binary search (absent coordinates contribute exactly
+//!   zero, by the lineage-pruning argument of Sec. 4).
+//! - **Dense vertices** iterate the full index dimension. Innermost
+//!   dense loops covering a single term are dispatched to the
+//!   [`crate::blas`] microkernels (AXPY/DOT/elementwise for one loop,
+//!   GER/GEMV for two), mirroring the paper's Sec. 5 runtime.
+//! - **Intermediate buffers** follow Eq. 5: each non-final term owns the
+//!   dense buffer computed by [`spttn_ir::buffers_for_forest`]; the
+//!   buffer is zeroed exactly at its split vertex — once per iteration
+//!   of the deepest loop shared by producer and consumer — and indexed
+//!   by the stored (non-ancestor) coordinates only.
+
+use crate::blas;
+use spttn_core::{Result, SpttnError};
+use spttn_ir::{
+    buffers_for_forest, ContractionPath, IndexId, Kernel, LoopForest, LoopNode, LoopVertex,
+    Operand, VertexKind,
+};
+use spttn_tensor::{CooTensor, Csf, DenseTensor};
+
+/// Process-wide counters of microkernel dispatches, for tests and
+/// perf diagnostics. Monotonically increasing; read with
+/// [`stats::snapshot`] and compare before/after deltas.
+pub mod stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub(crate) static AXPY: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static DOT: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static XMUL: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static GER: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static GEMV: AtomicU64 = AtomicU64::new(0);
+
+    /// Cumulative dispatch counts since process start.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Snapshot {
+        /// AXPY dispatches.
+        pub axpy: u64,
+        /// DOT dispatches.
+        pub dot: u64,
+        /// Elementwise ternary dispatches.
+        pub xmul: u64,
+        /// GER dispatches.
+        pub ger: u64,
+        /// GEMV dispatches.
+        pub gemv: u64,
+    }
+
+    /// Read the counters.
+    pub fn snapshot() -> Snapshot {
+        Snapshot {
+            axpy: AXPY.load(Ordering::Relaxed),
+            dot: DOT.load(Ordering::Relaxed),
+            xmul: XMUL.load(Ordering::Relaxed),
+            ger: GER.load(Ordering::Relaxed),
+            gemv: GEMV.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Output of a contraction: dense, or sharing the sparse input's pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContractionOutput {
+    /// Dense output tensor (MTTKRP, TTMc, ...).
+    Dense(DenseTensor),
+    /// Pattern-sharing sparse output (TTTP / SDDMM-like), in COO form
+    /// with the sparse input's coordinates.
+    Sparse(CooTensor),
+}
+
+impl ContractionOutput {
+    /// Densify (cheap for dense, materializes for sparse outputs).
+    pub fn to_dense(&self) -> DenseTensor {
+        match self {
+            ContractionOutput::Dense(t) => t.clone(),
+            ContractionOutput::Sparse(c) => c.to_dense(),
+        }
+    }
+
+    /// Borrow the dense output, if this is one.
+    pub fn as_dense(&self) -> Option<&DenseTensor> {
+        match self {
+            ContractionOutput::Dense(t) => Some(t),
+            ContractionOutput::Sparse(_) => None,
+        }
+    }
+}
+
+/// Validate bound operands against a kernel: factor count, per-level
+/// CSF dimensions (the CSF must be stored in the kernel's written index
+/// order for the sparse tensor), and dense factor shapes. Shared by the
+/// executor and the `spttn` facade so the two cannot drift.
+pub fn validate_operands(kernel: &Kernel, csf: &Csf, dense_factors: &[&DenseTensor]) -> Result<()> {
+    let n_dense = kernel.inputs.len() - 1;
+    if dense_factors.len() != n_dense {
+        return Err(SpttnError::Execution(format!(
+            "expected {n_dense} dense factors, got {}",
+            dense_factors.len()
+        )));
+    }
+    let sparse_ref = kernel.sparse_ref();
+    if csf.order() != sparse_ref.indices.len() {
+        return Err(SpttnError::Shape(format!(
+            "sparse tensor '{}' has {} modes in the kernel but the CSF has {}",
+            sparse_ref.name,
+            sparse_ref.indices.len(),
+            csf.order()
+        )));
+    }
+    for level in 0..csf.order() {
+        let want = kernel.dim(kernel.index_at_level(level));
+        let got = csf.dims()[csf.mode_order()[level]];
+        if want != got {
+            return Err(SpttnError::Shape(format!(
+                "sparse mode at CSF level {level} has dimension {got}, kernel expects {want}"
+            )));
+        }
+    }
+    let mut next = 0usize;
+    for (slot, r) in kernel.inputs.iter().enumerate() {
+        if slot == kernel.sparse_input {
+            continue;
+        }
+        let t = dense_factors[next];
+        next += 1;
+        let want = kernel.ref_dims(r);
+        if t.dims() != want.as_slice() {
+            return Err(SpttnError::Shape(format!(
+                "factor '{}' has dims {:?}, kernel expects {:?}",
+                r.name,
+                t.dims(),
+                want
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Execute a fused loop forest.
+///
+/// `dense_factors` holds one tensor per *non-sparse* kernel input, in
+/// input order (the sparse slot is skipped); `csf` is the sparse input,
+/// stored in the mode order the kernel's written index order declares.
+pub fn execute_forest(
+    kernel: &Kernel,
+    path: &ContractionPath,
+    forest: &LoopForest,
+    csf: &Csf,
+    dense_factors: &[&DenseTensor],
+) -> Result<ContractionOutput> {
+    let mut exec = Exec::new(kernel, path, forest, csf, dense_factors)?;
+    exec.run()
+}
+
+/// Offset of the current coordinates within a tensor addressed by
+/// `inds` (one index id per tensor mode, matching `strides`).
+fn offset_in(inds: &[IndexId], strides: &[usize], coords: &[usize]) -> usize {
+    inds.iter().zip(strides).map(|(&i, &s)| coords[i] * s).sum()
+}
+
+/// Which backing store a strided source lives in.
+#[derive(Debug, Clone, Copy)]
+enum BufSel {
+    /// Dense factor input (kernel input slot).
+    Factor(usize),
+    /// Intermediate buffer of a term.
+    Inter(usize),
+}
+
+/// Source operand metadata for microkernel dispatch, relative to one or
+/// two candidate loop indices.
+#[derive(Debug, Clone, Copy)]
+enum SrcMeta {
+    /// Constant under both loops (includes the sparse leaf value).
+    Const(f64),
+    /// Strided access: `data[base + i*s1 + j*s2]`.
+    Var {
+        buf: BufSel,
+        base: usize,
+        s1: usize,
+        has1: bool,
+        s2: usize,
+        has2: bool,
+    },
+}
+
+/// Target metadata for microkernel dispatch.
+#[derive(Debug, Clone, Copy)]
+enum TgtMeta {
+    /// Scalar accumulation cell (loop indices contracted away).
+    Cell,
+    /// Strided target in the dense output or a term buffer.
+    Var {
+        out: bool,
+        base: usize,
+        s1: usize,
+        has1: bool,
+        s2: usize,
+        has2: bool,
+    },
+}
+
+struct Exec<'a> {
+    kernel: &'a Kernel,
+    path: &'a ContractionPath,
+    forest: &'a LoopForest,
+    csf: &'a Csf,
+    /// Per kernel-input slot; `None` at the sparse slot.
+    factors: Vec<Option<&'a DenseTensor>>,
+    /// Per term; placeholder scalar for the final term.
+    buffers: Vec<DenseTensor>,
+    /// Stored index ids of each term's buffer (producer loop order).
+    buffer_inds: Vec<Vec<IndexId>>,
+    /// Current coordinate per kernel index.
+    coords: Vec<usize>,
+    /// Current CSF node per tree level (set by enclosing sparse loops).
+    nodes: Vec<Option<usize>>,
+    out_dense: DenseTensor,
+    out_sparse: Vec<f64>,
+}
+
+impl<'a> Exec<'a> {
+    fn new(
+        kernel: &'a Kernel,
+        path: &'a ContractionPath,
+        forest: &'a LoopForest,
+        csf: &'a Csf,
+        dense_factors: &[&'a DenseTensor],
+    ) -> Result<Self> {
+        validate_operands(kernel, csf, dense_factors)?;
+        let mut factors: Vec<Option<&'a DenseTensor>> = vec![None; kernel.inputs.len()];
+        let mut next = 0usize;
+        for (slot, _) in kernel.inputs.iter().enumerate() {
+            if slot == kernel.sparse_input {
+                continue;
+            }
+            factors[slot] = Some(dense_factors[next]);
+            next += 1;
+        }
+
+        let mut buffers: Vec<DenseTensor> =
+            (0..path.len()).map(|_| DenseTensor::zeros(&[])).collect();
+        let mut buffer_inds: Vec<Vec<IndexId>> = vec![Vec::new(); path.len()];
+        for spec in buffers_for_forest(kernel, path, forest) {
+            buffers[spec.producer] = DenseTensor::zeros(&spec.dims);
+            buffer_inds[spec.producer] = spec.inds;
+        }
+
+        let out_dense = if kernel.output_sparse {
+            DenseTensor::zeros(&[])
+        } else {
+            DenseTensor::zeros(&kernel.ref_dims(&kernel.output))
+        };
+        let out_sparse = if kernel.output_sparse {
+            vec![0.0; csf.nnz()]
+        } else {
+            Vec::new()
+        };
+
+        Ok(Exec {
+            kernel,
+            path,
+            forest,
+            csf,
+            factors,
+            buffers,
+            buffer_inds,
+            coords: vec![0; kernel.num_indices()],
+            nodes: vec![None; csf.order()],
+            out_dense,
+            out_sparse,
+        })
+    }
+
+    fn run(&mut self) -> Result<ContractionOutput> {
+        let roots = &self.forest.roots;
+        self.exec_siblings(roots, self.path.len())?;
+        if self.kernel.output_sparse {
+            let coo = self
+                .csf
+                .to_coo()
+                .with_vals(std::mem::take(&mut self.out_sparse));
+            Ok(ContractionOutput::Sparse(coo))
+        } else {
+            let out = std::mem::replace(&mut self.out_dense, DenseTensor::zeros(&[]));
+            Ok(ContractionOutput::Dense(out))
+        }
+    }
+
+    /// Term range covered by a node.
+    fn node_range(n: &LoopNode) -> (usize, usize) {
+        match n {
+            LoopNode::Leaf(t) => (*t, *t + 1),
+            LoopNode::Loop(v) => (v.term_lo, v.term_hi),
+        }
+    }
+
+    /// Execute a sibling list whose parent covers terms ending at
+    /// `parent_hi`, zeroing each buffer at its split point: a buffer
+    /// splits here when its producer is inside a child and its consumer
+    /// is a later sibling (Eq. 5's common-ancestor rule).
+    fn exec_siblings(&mut self, nodes: &[LoopNode], parent_hi: usize) -> Result<()> {
+        for n in nodes {
+            let (lo, hi) = Self::node_range(n);
+            for t in lo..hi {
+                if let Some(c) = self.path.terms[t].consumer {
+                    if c >= hi && c < parent_hi {
+                        self.buffers[t].fill_zero();
+                    }
+                }
+            }
+            self.exec_node(n)?;
+        }
+        Ok(())
+    }
+
+    fn exec_node(&mut self, n: &LoopNode) -> Result<()> {
+        match n {
+            LoopNode::Leaf(t) => {
+                let term = &self.path.terms[*t];
+                let l = self.read_operand(term.left);
+                let r = self.read_operand(term.right);
+                self.accumulate_cell(*t, l * r);
+                Ok(())
+            }
+            LoopNode::Loop(v) => self.exec_loop(v),
+        }
+    }
+
+    fn exec_loop(&mut self, v: &LoopVertex) -> Result<()> {
+        if self.try_blas(v)? {
+            return Ok(());
+        }
+        match v.kind {
+            VertexKind::Dense => {
+                for x in 0..self.kernel.dim(v.index) {
+                    self.coords[v.index] = x;
+                    self.exec_siblings(&v.children, v.term_hi)?;
+                }
+            }
+            VertexKind::Sparse { level } => {
+                let Some(range) = self.level_range(level) else {
+                    // Coordinate prefix absent from the pattern: every
+                    // covered term is prunable, contributions vanish.
+                    return Ok(());
+                };
+                for node in range {
+                    self.coords[v.index] = self.csf.node_coord(level, node);
+                    self.nodes[level] = Some(node);
+                    self.exec_siblings(&v.children, v.term_hi)?;
+                }
+                self.nodes[level] = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Node range a sparse loop at `level` iterates, under the current
+    /// descent; `None` when the enclosing coordinates are off-pattern.
+    fn level_range(&self, level: usize) -> Option<std::ops::Range<usize>> {
+        if level == 0 {
+            Some(self.csf.root_range())
+        } else {
+            let parent = self.resolve_node(level - 1)?;
+            Some(self.csf.children(level - 1, parent))
+        }
+    }
+
+    /// CSF node at `level` for the current coordinates: tracked nodes
+    /// where an enclosing sparse loop set them, binary search where a
+    /// sparse mode was iterated densely.
+    fn resolve_node(&self, level: usize) -> Option<usize> {
+        let mut node: Option<usize> = None;
+        for l in 0..=level {
+            if let Some(n) = self.nodes[l] {
+                node = Some(n);
+                continue;
+            }
+            let range = if l == 0 {
+                self.csf.root_range()
+            } else {
+                self.csf.children(l - 1, node?)
+            };
+            let target = self.coords[self.kernel.index_at_level(l)];
+            let idx = &self.csf.level(l).idx[range.clone()];
+            match idx.binary_search(&target) {
+                Ok(pos) => node = Some(range.start + pos),
+                Err(_) => return None,
+            }
+        }
+        node
+    }
+
+    /// Read an operand's value at the current coordinates.
+    fn read_operand(&self, op: Operand) -> f64 {
+        match op {
+            Operand::Input(i) if i == self.kernel.sparse_input => self
+                .resolve_node(self.csf.order() - 1)
+                .map_or(0.0, |n| self.csf.leaf_val(n)),
+            Operand::Input(i) => {
+                let f = self.factors[i].expect("dense factor bound");
+                let off = offset_in(&self.kernel.inputs[i].indices, f.strides(), &self.coords);
+                f.as_slice()[off]
+            }
+            Operand::Inter(u) => {
+                let b = &self.buffers[u];
+                let off = offset_in(&self.buffer_inds[u], b.strides(), &self.coords);
+                b.as_slice()[off]
+            }
+        }
+    }
+
+    /// Accumulate a term's contribution at the current coordinates.
+    fn accumulate_cell(&mut self, t: usize, v: f64) {
+        if t + 1 == self.path.len() {
+            if self.kernel.output_sparse {
+                match self.resolve_node(self.csf.order() - 1) {
+                    Some(n) => self.out_sparse[n] += v,
+                    // Off-pattern cell of a pattern-sharing output: the
+                    // contribution is exactly zero by lineage pruning.
+                    None => debug_assert_eq!(v, 0.0),
+                }
+            } else {
+                let off = offset_in(
+                    &self.kernel.output.indices,
+                    self.out_dense.strides(),
+                    &self.coords,
+                );
+                self.out_dense.as_mut_slice()[off] += v;
+            }
+        } else {
+            let off = offset_in(
+                &self.buffer_inds[t],
+                self.buffers[t].strides(),
+                &self.coords,
+            );
+            self.buffers[t].as_mut_slice()[off] += v;
+        }
+    }
+
+    // ----- BLAS microkernel dispatch ---------------------------------
+
+    /// Dispatch an innermost dense loop (or dense loop pair) covering a
+    /// single term to a BLAS microkernel. Returns `false` when the shape
+    /// does not match a kernel; the generic interpreter then handles it
+    /// (and inner vertices get their own dispatch chance).
+    fn try_blas(&mut self, v: &LoopVertex) -> Result<bool> {
+        if v.kind != VertexKind::Dense || v.term_hi - v.term_lo != 1 {
+            return Ok(false);
+        }
+        let t = v.term_lo;
+        match v.children.as_slice() {
+            [LoopNode::Leaf(_)] => self.blas1(v.index, t),
+            [LoopNode::Loop(v2)]
+                if v2.kind == VertexKind::Dense
+                    && v2.term_hi - v2.term_lo == 1
+                    && matches!(v2.children.as_slice(), [LoopNode::Leaf(_)]) =>
+            {
+                self.blas2(v.index, v2.index, t)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Source metadata w.r.t. loop indices `q1` (and optionally `q2`).
+    fn src_meta(&self, op: Operand, q1: IndexId, q2: Option<IndexId>) -> SrcMeta {
+        let (buf, inds, strides): (BufSel, &[IndexId], &[usize]) = match op {
+            Operand::Input(i) if i == self.kernel.sparse_input => {
+                return SrcMeta::Const(self.read_operand(op));
+            }
+            Operand::Input(i) => {
+                let f = self.factors[i].expect("dense factor bound");
+                (
+                    BufSel::Factor(i),
+                    &self.kernel.inputs[i].indices,
+                    f.strides(),
+                )
+            }
+            Operand::Inter(u) => (
+                BufSel::Inter(u),
+                &self.buffer_inds[u],
+                self.buffers[u].strides(),
+            ),
+        };
+        let mut base = 0usize;
+        let (mut s1, mut has1, mut s2, mut has2) = (0usize, false, 0usize, false);
+        for (pos, &ind) in inds.iter().enumerate() {
+            if ind == q1 {
+                s1 = strides[pos];
+                has1 = true;
+            } else if Some(ind) == q2 {
+                s2 = strides[pos];
+                has2 = true;
+            } else {
+                base += self.coords[ind] * strides[pos];
+            }
+        }
+        if !has1 && !has2 {
+            SrcMeta::Const(self.read_operand(op))
+        } else {
+            SrcMeta::Var {
+                buf,
+                base,
+                s1,
+                has1,
+                s2,
+                has2,
+            }
+        }
+    }
+
+    /// Target metadata; `None` means dispatch is unsupported (sparse
+    /// pattern-sharing output indexed by a loop index).
+    fn tgt_meta(&self, t: usize, q1: IndexId, q2: Option<IndexId>) -> Option<TgtMeta> {
+        let (out, inds, strides): (bool, &[IndexId], &[usize]) = if t + 1 == self.path.len() {
+            if self.kernel.output_sparse {
+                let oi = self.path.terms[t].out_inds;
+                if oi.contains(q1) || q2.is_some_and(|q| oi.contains(q)) {
+                    return None;
+                }
+                return Some(TgtMeta::Cell);
+            }
+            (true, &self.kernel.output.indices, self.out_dense.strides())
+        } else {
+            (false, &self.buffer_inds[t], self.buffers[t].strides())
+        };
+        let mut base = 0usize;
+        let (mut s1, mut has1, mut s2, mut has2) = (0usize, false, 0usize, false);
+        for (pos, &ind) in inds.iter().enumerate() {
+            if ind == q1 {
+                s1 = strides[pos];
+                has1 = true;
+            } else if Some(ind) == q2 {
+                s2 = strides[pos];
+                has2 = true;
+            } else {
+                base += self.coords[ind] * strides[pos];
+            }
+        }
+        if has1 || has2 {
+            Some(TgtMeta::Var {
+                out,
+                base,
+                s1,
+                has1,
+                s2,
+                has2,
+            })
+        } else {
+            Some(TgtMeta::Cell)
+        }
+    }
+
+    /// One dense loop over `q`, single term `t`: AXPY / elementwise /
+    /// DOT dispatch.
+    fn blas1(&mut self, q: IndexId, t: usize) -> Result<bool> {
+        let n = self.kernel.dim(q);
+        let term = &self.path.terms[t];
+        let lm = self.src_meta(term.left, q, None);
+        let rm = self.src_meta(term.right, q, None);
+        let Some(tm) = self.tgt_meta(t, q, None) else {
+            return Ok(false);
+        };
+        match tm {
+            TgtMeta::Cell => {
+                // Σ_q l[q]·r[q] into a scalar cell: DOT.
+                if let (
+                    SrcMeta::Var {
+                        buf: lb,
+                        base: lbase,
+                        s1: ls,
+                        ..
+                    },
+                    SrcMeta::Var {
+                        buf: rb,
+                        base: rbase,
+                        s1: rs,
+                        ..
+                    },
+                ) = (lm, rm)
+                {
+                    let v = {
+                        let (reads, _) = self.buffers.split_at(t);
+                        let x = slice_of(&self.factors, reads, lb, lbase);
+                        let y = slice_of(&self.factors, reads, rb, rbase);
+                        blas::dot(n, x, ls, y, rs)
+                    };
+                    stats::bump(&stats::DOT);
+                    self.accumulate_cell(t, v);
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+            TgtMeta::Var {
+                out,
+                base: tbase,
+                s1: ts,
+                ..
+            } => {
+                let Exec {
+                    buffers,
+                    factors,
+                    out_dense,
+                    ..
+                } = self;
+                let (reads, tail) = buffers.split_at_mut(t);
+                let tgt: &mut [f64] = if out {
+                    &mut out_dense.as_mut_slice()[tbase..]
+                } else {
+                    &mut tail[0].as_mut_slice()[tbase..]
+                };
+                match (lm, rm) {
+                    (SrcMeta::Var { buf, base, s1, .. }, SrcMeta::Const(c))
+                    | (SrcMeta::Const(c), SrcMeta::Var { buf, base, s1, .. }) => {
+                        let x = slice_of(factors, reads, buf, base);
+                        blas::axpy(n, c, x, s1, tgt, ts);
+                        stats::bump(&stats::AXPY);
+                        Ok(true)
+                    }
+                    (
+                        SrcMeta::Var {
+                            buf: lb,
+                            base: lbase,
+                            s1: ls,
+                            ..
+                        },
+                        SrcMeta::Var {
+                            buf: rb,
+                            base: rbase,
+                            s1: rs,
+                            ..
+                        },
+                    ) => {
+                        let x = slice_of(factors, reads, lb, lbase);
+                        let z = slice_of(factors, reads, rb, rbase);
+                        blas::xmul(n, 1.0, x, ls, z, rs, tgt, ts);
+                        stats::bump(&stats::XMUL);
+                        Ok(true)
+                    }
+                    (SrcMeta::Const(_), SrcMeta::Const(_)) => Ok(false),
+                }
+            }
+        }
+    }
+
+    /// Two nested dense loops `(q1, q2)` over a single term: GER / GEMV
+    /// dispatch.
+    fn blas2(&mut self, q1: IndexId, q2: IndexId, t: usize) -> Result<bool> {
+        let (m, n) = (self.kernel.dim(q1), self.kernel.dim(q2));
+        let term = &self.path.terms[t];
+        let lm = self.src_meta(term.left, q1, Some(q2));
+        let rm = self.src_meta(term.right, q1, Some(q2));
+        let Some(TgtMeta::Var {
+            out,
+            base: tbase,
+            s1: t1,
+            has1: th1,
+            s2: t2,
+            has2: th2,
+        }) = self.tgt_meta(t, q1, Some(q2))
+        else {
+            return Ok(false);
+        };
+        let (SrcMeta::Var { .. }, SrcMeta::Var { .. }) = (lm, rm) else {
+            return Ok(false);
+        };
+        // Destructure both Vars.
+        let (lb, lbase, l1, lh1, l2, lh2) = match lm {
+            SrcMeta::Var {
+                buf,
+                base,
+                s1,
+                has1,
+                s2,
+                has2,
+            } => (buf, base, s1, has1, s2, has2),
+            SrcMeta::Const(_) => unreachable!(),
+        };
+        let (rb, rbase, r1, rh1, r2, rh2) = match rm {
+            SrcMeta::Var {
+                buf,
+                base,
+                s1,
+                has1,
+                s2,
+                has2,
+            } => (buf, base, s1, has1, s2, has2),
+            SrcMeta::Const(_) => unreachable!(),
+        };
+
+        let Exec {
+            buffers,
+            factors,
+            out_dense,
+            ..
+        } = self;
+        let (reads, tail) = buffers.split_at_mut(t);
+        let tgt: &mut [f64] = if out {
+            &mut out_dense.as_mut_slice()[tbase..]
+        } else {
+            &mut tail[0].as_mut_slice()[tbase..]
+        };
+
+        if th1 && th2 {
+            // Rank-1 update: x carries q1, y carries q2.
+            if lh1 && !lh2 && !rh1 && rh2 {
+                let x = slice_of(factors, reads, lb, lbase);
+                let y = slice_of(factors, reads, rb, rbase);
+                blas::ger(m, n, 1.0, x, l1, y, r2, tgt, t1, t2);
+                stats::bump(&stats::GER);
+                return Ok(true);
+            }
+            if !lh1 && lh2 && rh1 && !rh2 {
+                let x = slice_of(factors, reads, rb, rbase);
+                let y = slice_of(factors, reads, lb, lbase);
+                blas::ger(m, n, 1.0, x, r1, y, l2, tgt, t1, t2);
+                stats::bump(&stats::GER);
+                return Ok(true);
+            }
+            return Ok(false);
+        }
+        if th1 && !th2 {
+            // y[q1] += Σ_q2 A[q1,q2] · x[q2].
+            if lh1 && lh2 && !rh1 && rh2 {
+                let a = slice_of(factors, reads, lb, lbase);
+                let x = slice_of(factors, reads, rb, rbase);
+                blas::gemv(m, n, 1.0, a, l1, l2, x, r2, tgt, t1);
+                stats::bump(&stats::GEMV);
+                return Ok(true);
+            }
+            if rh1 && rh2 && !lh1 && lh2 {
+                let a = slice_of(factors, reads, rb, rbase);
+                let x = slice_of(factors, reads, lb, lbase);
+                blas::gemv(m, n, 1.0, a, r1, r2, x, l2, tgt, t1);
+                stats::bump(&stats::GEMV);
+                return Ok(true);
+            }
+            return Ok(false);
+        }
+        if !th1 && th2 {
+            // y[q2] += Σ_q1 A[q2,q1] · x[q1].
+            if lh1 && lh2 && rh1 && !rh2 {
+                let a = slice_of(factors, reads, lb, lbase);
+                let x = slice_of(factors, reads, rb, rbase);
+                blas::gemv(n, m, 1.0, a, l2, l1, x, r1, tgt, t2);
+                stats::bump(&stats::GEMV);
+                return Ok(true);
+            }
+            if rh1 && rh2 && lh1 && !lh2 {
+                let a = slice_of(factors, reads, rb, rbase);
+                let x = slice_of(factors, reads, lb, lbase);
+                blas::gemv(n, m, 1.0, a, r2, r1, x, l1, tgt, t2);
+                stats::bump(&stats::GEMV);
+                return Ok(true);
+            }
+            return Ok(false);
+        }
+        Ok(false)
+    }
+}
+
+/// Borrow the backing slice of a source, offset by `base`.
+fn slice_of<'b>(
+    factors: &'b [Option<&'b DenseTensor>],
+    read_buffers: &'b [DenseTensor],
+    sel: BufSel,
+    base: usize,
+) -> &'b [f64] {
+    match sel {
+        BufSel::Factor(i) => &factors[i].expect("dense factor bound").as_slice()[base..],
+        BufSel::Inter(u) => &read_buffers[u].as_slice()[base..],
+    }
+}

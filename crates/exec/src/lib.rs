@@ -1,1 +1,15 @@
-//! placeholder
+//! # spttn-exec
+//!
+//! Execution subsystem for SpTTN loop nests: a loop-forest interpreter
+//! ([`execute_forest`]) that walks a planned [`spttn_ir::LoopForest`]
+//! over a CSF sparse tensor and dense factors, allocating the Eq.-5
+//! intermediate buffers and dispatching innermost dense loops to the
+//! BLAS-style microkernels in [`blas`] (paper Sec. 5). A brute-force
+//! dense einsum oracle ([`naive_einsum`]) backs the correctness tests.
+
+pub mod blas;
+pub mod interp;
+pub mod reference;
+
+pub use interp::{execute_forest, validate_operands, ContractionOutput};
+pub use reference::naive_einsum;

@@ -1,0 +1,293 @@
+//! Interpreter golden tests: every fused loop nest must reproduce the
+//! naive dense einsum oracle, across the paper's listings and output
+//! flavors (dense, pattern-sharing), fused and unfused forests, and the
+//! BLAS dispatch paths (AXPY, DOT, elementwise, GER, GEMV).
+
+use rand::prelude::*;
+use spttn_exec::{execute_forest, naive_einsum, ContractionOutput};
+use spttn_ir::{build_forest, parse_kernel, path_from_picks, Kernel, NestSpec};
+use spttn_tensor::{random_coo, random_dense, CooTensor, Csf, DenseTensor};
+
+const TOL: f64 = 1e-9;
+
+/// Densify every input (sparse first-slot included) for the oracle.
+fn oracle(kernel: &Kernel, coo: &CooTensor, factors: &[DenseTensor]) -> DenseTensor {
+    let sparse_dense = coo.to_dense();
+    let mut all: Vec<&DenseTensor> = Vec::new();
+    let mut next = 0usize;
+    for slot in 0..kernel.inputs.len() {
+        if slot == kernel.sparse_input {
+            all.push(&sparse_dense);
+        } else {
+            all.push(&factors[next]);
+            next += 1;
+        }
+    }
+    naive_einsum(kernel, &all).unwrap()
+}
+
+fn run(
+    kernel: &Kernel,
+    picks: &[(usize, usize)],
+    orders: Vec<Vec<usize>>,
+    coo: &CooTensor,
+    factors: &[DenseTensor],
+) -> ContractionOutput {
+    let path = path_from_picks(kernel, picks);
+    let spec = NestSpec { orders };
+    let forest = build_forest(kernel, &path, &spec).unwrap();
+    let order: Vec<usize> = (0..coo.order()).collect();
+    let csf = Csf::from_coo(coo, &order).unwrap();
+    let refs: Vec<&DenseTensor> = factors.iter().collect();
+    execute_forest(kernel, &path, &forest, &csf, &refs).unwrap()
+}
+
+fn ttmc_setup(seed: u64) -> (Kernel, CooTensor, Vec<DenseTensor>) {
+    let k = parse_kernel(
+        "S(i,r,s) = T(i,j,k) * U(j,r) * V(k,s)",
+        &[("i", 8), ("j", 9), ("k", 10), ("r", 4), ("s", 5)],
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coo = random_coo(&[8, 9, 10], 120, &mut rng).unwrap();
+    let u = random_dense(&[9, 4], &mut rng);
+    let v = random_dense(&[10, 5], &mut rng);
+    (k, coo, vec![u, v])
+}
+
+/// Listing 3: 1-d buffer, sparse k loop, trailing dense s (AXPY path).
+#[test]
+fn ttmc_listing3_matches_oracle() {
+    let (k, coo, f) = ttmc_setup(1);
+    let before = spttn_exec::interp::stats::snapshot();
+    let got = run(
+        &k,
+        &[(0, 2), (0, 1)],
+        vec![vec![0, 1, 2, 4], vec![0, 1, 4, 3]],
+        &coo,
+        &f,
+    );
+    let after = spttn_exec::interp::stats::snapshot();
+    assert!(after.axpy > before.axpy, "AXPY microkernel should dispatch");
+    let want = oracle(&k, &coo, &f);
+    assert!(got.to_dense().approx_eq(&want, TOL));
+}
+
+/// Listing 4: scalar buffer, dense s above sparse k (DOT-free generic).
+#[test]
+fn ttmc_listing4_matches_oracle() {
+    let (k, coo, f) = ttmc_setup(2);
+    let got = run(
+        &k,
+        &[(0, 2), (0, 1)],
+        vec![vec![0, 1, 4, 2], vec![0, 1, 4, 3]],
+        &coo,
+        &f,
+    );
+    let want = oracle(&k, &coo, &f);
+    assert!(got.to_dense().approx_eq(&want, TOL));
+}
+
+/// Listing 2 (unfused): 3-d materialized buffer; the consumer
+/// re-descends the CSF below its own dense s loop.
+#[test]
+fn ttmc_unfused_matches_oracle() {
+    let (k, coo, f) = ttmc_setup(3);
+    let got = run(
+        &k,
+        &[(0, 2), (0, 1)],
+        vec![vec![0, 1, 2, 4], vec![4, 0, 1, 3]],
+        &coo,
+        &f,
+    );
+    let want = oracle(&k, &coo, &f);
+    assert!(got.to_dense().approx_eq(&want, TOL));
+}
+
+/// Fig. 1d: dense-first path (U·V materialized, then contracted with T).
+#[test]
+fn ttmc_dense_first_path_matches_oracle() {
+    let (k, coo, f) = ttmc_setup(4);
+    let got = run(
+        &k,
+        &[(1, 2), (0, 1)],
+        vec![vec![1, 3, 2, 4], vec![0, 1, 2, 3, 4]],
+        &coo,
+        &f,
+    );
+    let want = oracle(&k, &coo, &f);
+    assert!(got.to_dense().approx_eq(&want, TOL));
+}
+
+/// MTTKRP fused factorize schedule (paper Sec. 2.4.2).
+#[test]
+fn mttkrp_factorized_matches_oracle() {
+    let k = parse_kernel(
+        "A(i,a) = T(i,j,k) * B(j,a) * C(k,a)",
+        &[("i", 7), ("j", 8), ("k", 9), ("a", 5)],
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let coo = random_coo(&[7, 8, 9], 100, &mut rng).unwrap();
+    let b = random_dense(&[8, 5], &mut rng);
+    let c = random_dense(&[9, 5], &mut rng);
+    let f = vec![b, c];
+    // Path (T*C) -> X(i,j,a); (X*B) -> A.
+    let got = run(
+        &k,
+        &[(0, 2), (0, 1)],
+        vec![vec![0, 1, 2, 3], vec![0, 1, 3]],
+        &coo,
+        &f,
+    );
+    let want = oracle(&k, &coo, &f);
+    assert!(got.to_dense().approx_eq(&want, TOL));
+}
+
+/// TTTP: pattern-sharing output, pre-sparse dense term fused under the
+/// sparse descent.
+#[test]
+fn tttp_sparse_output_matches_oracle() {
+    let k = parse_kernel(
+        "S(i,j,k) = T(i,j,k) * U(i,r) * V(j,r) * W(k,r)",
+        &[("i", 6), ("j", 7), ("k", 8), ("r", 3)],
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(6);
+    let coo = random_coo(&[6, 7, 8], 80, &mut rng).unwrap();
+    let f = vec![
+        random_dense(&[6, 3], &mut rng),
+        random_dense(&[7, 3], &mut rng),
+        random_dense(&[8, 3], &mut rng),
+    ];
+    // Path: (U*V)->X0(i,j,r); (W*X0)->X1(i,j,k,r); (T*X1)->S.
+    let got = run(
+        &k,
+        &[(1, 2), (1, 2), (0, 1)],
+        vec![vec![0, 1, 3], vec![0, 1, 2, 3], vec![0, 1, 2]],
+        &coo,
+        &f,
+    );
+    let ContractionOutput::Sparse(out) = &got else {
+        panic!("TTTP output must share the sparse pattern");
+    };
+    assert_eq!(out.nnz(), coo.nnz());
+    let want = oracle(&k, &coo, &f);
+    assert!(got.to_dense().approx_eq(&want, TOL));
+}
+
+/// Rank-1 outer product intermediate: exercises the GER dispatch.
+#[test]
+fn ger_dispatch_matches_oracle() {
+    let k = parse_kernel(
+        "S(i,r,s) = T(i) * U(r) * V(s)",
+        &[("i", 6), ("r", 5), ("s", 4)],
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let coo = random_coo(&[6], 4, &mut rng).unwrap();
+    let f = vec![random_dense(&[5], &mut rng), random_dense(&[4], &mut rng)];
+    // Path (U*V) -> X0(r,s) [GER]; (T*X0) -> S.
+    let before = spttn_exec::interp::stats::snapshot();
+    let got = run(
+        &k,
+        &[(1, 2), (0, 1)],
+        vec![vec![1, 2], vec![0, 1, 2]],
+        &coo,
+        &f,
+    );
+    let after = spttn_exec::interp::stats::snapshot();
+    assert!(after.ger > before.ger, "GER microkernel should dispatch");
+    let want = oracle(&k, &coo, &f);
+    assert!(got.to_dense().approx_eq(&want, TOL));
+}
+
+/// Matrix-times-vector intermediate: exercises the GEMV dispatch.
+#[test]
+fn gemv_dispatch_matches_oracle() {
+    let k = parse_kernel(
+        "C(i) = T(k) * A(i,j) * B(j)",
+        &[("i", 6), ("j", 7), ("k", 5)],
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(8);
+    let coo = random_coo(&[5], 3, &mut rng).unwrap();
+    let f = vec![
+        random_dense(&[6, 7], &mut rng),
+        random_dense(&[7], &mut rng),
+    ];
+    // Path (A*B) -> X0(i) [GEMV]; (T*X0) -> C. Index ids follow the
+    // sparse tensor first: k=0, i=1, j=2.
+    let before = spttn_exec::interp::stats::snapshot();
+    let got = run(
+        &k,
+        &[(1, 2), (0, 1)],
+        vec![vec![1, 2], vec![0, 1]],
+        &coo,
+        &f,
+    );
+    let after = spttn_exec::interp::stats::snapshot();
+    assert!(after.gemv > before.gemv, "GEMV microkernel should dispatch");
+    let want = oracle(&k, &coo, &f);
+    assert!(got.to_dense().approx_eq(&want, TOL));
+}
+
+/// Shape validation: wrong factor dims and wrong CSF order are rejected.
+#[test]
+fn executor_validates_shapes() {
+    let (k, coo, f) = ttmc_setup(9);
+    let path = path_from_picks(&k, &[(0, 2), (0, 1)]);
+    let spec = NestSpec {
+        orders: vec![vec![0, 1, 2, 4], vec![0, 1, 4, 3]],
+    };
+    let forest = build_forest(&k, &path, &spec).unwrap();
+    let csf = Csf::from_coo(&coo, &[0, 1, 2]).unwrap();
+    // Swap the factors: dims no longer match the kernel.
+    let refs: Vec<&DenseTensor> = vec![&f[1], &f[0]];
+    assert!(execute_forest(&k, &path, &forest, &csf, &refs).is_err());
+    // Too few factors.
+    let refs2: Vec<&DenseTensor> = vec![&f[0]];
+    assert!(execute_forest(&k, &path, &forest, &csf, &refs2).is_err());
+    // CSF built in a different mode order than the kernel declares.
+    let bad_csf = Csf::from_coo(&coo, &[2, 1, 0]).unwrap();
+    let refs3: Vec<&DenseTensor> = f.iter().collect();
+    assert!(execute_forest(&k, &path, &forest, &bad_csf, &refs3).is_err());
+}
+
+/// Order-4 TTMc with the Fig. 6 nest: two buffers, deep fusion.
+#[test]
+fn order4_ttmc_fig6_matches_oracle() {
+    let k = parse_kernel(
+        "S(i,r,s,t) = T(i,j,k,l) * U(j,r) * V(k,s) * W(l,t)",
+        &[
+            ("i", 5),
+            ("j", 5),
+            ("k", 5),
+            ("l", 5),
+            ("r", 3),
+            ("s", 3),
+            ("t", 3),
+        ],
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(10);
+    let coo = random_coo(&[5, 5, 5, 5], 60, &mut rng).unwrap();
+    let f = vec![
+        random_dense(&[5, 3], &mut rng),
+        random_dense(&[5, 3], &mut rng),
+        random_dense(&[5, 3], &mut rng),
+    ];
+    let got = run(
+        &k,
+        &[(0, 3), (1, 2), (0, 1)],
+        vec![
+            vec![0, 1, 2, 3, 6],
+            vec![0, 1, 2, 5, 6],
+            vec![0, 1, 4, 5, 6],
+        ],
+        &coo,
+        &f,
+    );
+    let want = oracle(&k, &coo, &f);
+    assert!(got.to_dense().approx_eq(&want, TOL));
+}

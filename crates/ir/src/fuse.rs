@@ -196,10 +196,7 @@ fn peel(
         let lo = items[pos].0;
         let hi = items[end - 1].0 + 1;
         let kind = vertex_kind(kernel, path, lo, hi, removed, q)?;
-        let inner: Vec<(usize, usize)> = items[pos..end]
-            .iter()
-            .map(|&(t, d)| (t, d + 1))
-            .collect();
+        let inner: Vec<(usize, usize)> = items[pos..end].iter().map(|&(t, d)| (t, d + 1)).collect();
         let children = peel(kernel, path, spec, &inner, removed.insert(q))?;
         nodes.push(LoopNode::Loop(LoopVertex {
             index: q,
@@ -334,13 +331,12 @@ impl LoopForest {
                 LoopNode::Loop(v) => {
                     let name = kernel.index_name(v.index);
                     match v.kind {
-                        VertexKind::Sparse { level } => s.push_str(&format!(
-                            "{pad}for ({name}, node) in csf_level_{level}:\n"
-                        )),
-                        VertexKind::Dense => s.push_str(&format!(
-                            "{pad}for {name} in 0..{}:\n",
-                            kernel.dim(v.index)
-                        )),
+                        VertexKind::Sparse { level } => {
+                            s.push_str(&format!("{pad}for ({name}, node) in csf_level_{level}:\n"))
+                        }
+                        VertexKind::Dense => {
+                            s.push_str(&format!("{pad}for {name} in 0..{}:\n", kernel.dim(v.index)))
+                        }
                     }
                     for c in &v.children {
                         emit(c, depth + 1, kernel, path, s);
@@ -380,18 +376,26 @@ mod tests {
         };
         let f = build_forest(&k, &p, &spec).unwrap();
         assert_eq!(f.roots.len(), 1);
-        let LoopNode::Loop(i) = &f.roots[0] else { panic!() };
+        let LoopNode::Loop(i) = &f.roots[0] else {
+            panic!()
+        };
         assert_eq!(i.index, 0);
         assert_eq!(i.kind, VertexKind::Sparse { level: 0 });
         assert_eq!((i.term_lo, i.term_hi), (0, 2));
-        let LoopNode::Loop(j) = &i.children[0] else { panic!() };
+        let LoopNode::Loop(j) = &i.children[0] else {
+            panic!()
+        };
         assert_eq!(j.index, 1);
         assert_eq!(j.children.len(), 2); // k-subtree and s-subtree
-        let LoopNode::Loop(kv) = &j.children[0] else { panic!() };
+        let LoopNode::Loop(kv) = &j.children[0] else {
+            panic!()
+        };
         assert_eq!(kv.index, 2);
         assert_eq!(kv.kind, VertexKind::Sparse { level: 2 });
         assert_eq!((kv.term_lo, kv.term_hi), (0, 1));
-        let LoopNode::Loop(sv) = &j.children[1] else { panic!() };
+        let LoopNode::Loop(sv) = &j.children[1] else {
+            panic!()
+        };
         assert_eq!(sv.index, 4);
         assert_eq!(sv.kind, VertexKind::Dense);
         assert_eq!(f.max_depth(), 4);
@@ -405,13 +409,21 @@ mod tests {
             orders: vec![vec![0, 1, 4, 2], vec![0, 1, 4, 3]],
         };
         let f = build_forest(&k, &p, &spec).unwrap();
-        let LoopNode::Loop(i) = &f.roots[0] else { panic!() };
-        let LoopNode::Loop(j) = &i.children[0] else { panic!() };
-        let LoopNode::Loop(s) = &j.children[0] else { panic!() };
+        let LoopNode::Loop(i) = &f.roots[0] else {
+            panic!()
+        };
+        let LoopNode::Loop(j) = &i.children[0] else {
+            panic!()
+        };
+        let LoopNode::Loop(s) = &j.children[0] else {
+            panic!()
+        };
         assert_eq!(s.index, 4);
         assert_eq!(s.children.len(), 2);
         // Sparse loop k nested inside the dense s loop is valid.
-        let LoopNode::Loop(kv) = &s.children[0] else { panic!() };
+        let LoopNode::Loop(kv) = &s.children[0] else {
+            panic!()
+        };
         assert_eq!(kv.kind, VertexKind::Sparse { level: 2 });
     }
 
@@ -426,11 +438,15 @@ mod tests {
         };
         let f = build_forest(&k, &p, &spec).unwrap();
         assert_eq!(f.roots.len(), 2);
-        let LoopNode::Loop(s) = &f.roots[1] else { panic!() };
+        let LoopNode::Loop(s) = &f.roots[1] else {
+            panic!()
+        };
         assert_eq!(s.index, 4);
         assert_eq!(s.kind, VertexKind::Dense);
         // Inside s, term 2 descends i sparsely (lineage pruning).
-        let LoopNode::Loop(iv) = &s.children[0] else { panic!() };
+        let LoopNode::Loop(iv) = &s.children[0] else {
+            panic!()
+        };
         assert_eq!(iv.kind, VertexKind::Sparse { level: 0 });
     }
 
@@ -445,9 +461,13 @@ mod tests {
         };
         let f = build_forest(&k, &p, &spec).unwrap();
         assert_eq!(f.roots.len(), 2);
-        let LoopNode::Loop(j0) = &f.roots[0] else { panic!() };
+        let LoopNode::Loop(j0) = &f.roots[0] else {
+            panic!()
+        };
         assert_eq!(j0.kind, VertexKind::Dense); // pre-sparse j: dense
-        let LoopNode::Loop(i1) = &f.roots[1] else { panic!() };
+        let LoopNode::Loop(i1) = &f.roots[1] else {
+            panic!()
+        };
         assert_eq!(i1.kind, VertexKind::Sparse { level: 0 });
         assert_eq!(f.max_depth(), 5);
     }
@@ -488,7 +508,9 @@ mod tests {
             ],
         };
         let f = build_forest(&k, &p, &spec).unwrap();
-        let LoopNode::Loop(iv) = &f.roots[0] else { panic!() };
+        let LoopNode::Loop(iv) = &f.roots[0] else {
+            panic!()
+        };
         // The U*V term is prunable through its consumer chain: sparse.
         assert_eq!(iv.kind, VertexKind::Sparse { level: 0 });
         assert_eq!((iv.term_lo, iv.term_hi), (0, 3));

@@ -27,15 +27,6 @@ impl IdxSet {
         IdxSet(1u64 << i)
     }
 
-    /// Build from an iterator of ids.
-    pub fn from_iter(ids: impl IntoIterator<Item = IndexId>) -> IdxSet {
-        let mut s = IdxSet::EMPTY;
-        for i in ids {
-            s = s.insert(i);
-        }
-        s
-    }
-
     /// True when `i` is in the set.
     #[inline]
     pub fn contains(self, i: IndexId) -> bool {
@@ -121,6 +112,17 @@ impl IdxSet {
     /// Members as a vector in ascending id order.
     pub fn to_vec(self) -> Vec<IndexId> {
         self.iter().collect()
+    }
+}
+
+impl FromIterator<IndexId> for IdxSet {
+    /// Build from an iterator of ids.
+    fn from_iter<T: IntoIterator<Item = IndexId>>(ids: T) -> IdxSet {
+        let mut s = IdxSet::EMPTY;
+        for i in ids {
+            s = s.insert(i);
+        }
+        s
     }
 }
 

@@ -317,7 +317,13 @@ impl KernelBuilder {
                 indices: resolve(inds)?,
             });
         }
-        Kernel::new(indices, output, inputs, self.sparse_input, self.output_sparse)
+        Kernel::new(
+            indices,
+            output,
+            inputs,
+            self.sparse_input,
+            self.output_sparse,
+        )
     }
 }
 

@@ -29,7 +29,9 @@ pub mod stdkernels;
 pub use buffer::{
     buffers_for_forest, max_buffer_dim, max_buffer_size, total_buffer_size, BufferSpec,
 };
-pub use fuse::{build_forest, vertex_kind, FuseError, LoopForest, LoopNode, LoopVertex, VertexKind};
+pub use fuse::{
+    build_forest, vertex_kind, FuseError, LoopForest, LoopNode, LoopVertex, VertexKind,
+};
 pub use index::{IdxSet, IndexId, IndexInfo, MAX_INDICES};
 pub use kernel::{Kernel, KernelBuilder, KernelError, TensorRef};
 pub use order::{

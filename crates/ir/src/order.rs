@@ -67,11 +67,7 @@ pub fn order_is_valid(
         seen = seen.insert(i);
     }
     let want = lineage_in_csf_order(kernel, path, t);
-    let got: Vec<IndexId> = order
-        .iter()
-        .copied()
-        .filter(|i| want.contains(i))
-        .collect();
+    let got: Vec<IndexId> = order.iter().copied().filter(|i| want.contains(i)).collect();
     got == want
 }
 
@@ -79,7 +75,11 @@ pub fn order_is_valid(
 pub fn orders_for_term(kernel: &Kernel, path: &ContractionPath, t: usize) -> Vec<LoopOrder> {
     let inds = path.terms[t].iter_inds().to_vec();
     let fixed = lineage_in_csf_order(kernel, path, t);
-    let free: Vec<IndexId> = inds.iter().copied().filter(|i| !fixed.contains(i)).collect();
+    let free: Vec<IndexId> = inds
+        .iter()
+        .copied()
+        .filter(|i| !fixed.contains(i))
+        .collect();
     let mut out = Vec::new();
     let mut perm = free.clone();
     permute(&mut perm, 0, &mut |p: &[IndexId]| {

@@ -140,7 +140,9 @@ fn split_equation(expr: &str) -> Result<(&str, &str), KernelError> {
     } else if let Some(pos) = expr.find('=') {
         Ok((&expr[..pos], &expr[pos + 1..]))
     } else {
-        Err(KernelError::Parse("expected '=' in kernel expression".into()))
+        Err(KernelError::Parse(
+            "expected '=' in kernel expression".into(),
+        ))
     }
 }
 

@@ -101,7 +101,11 @@ impl ContractionPath {
     /// Maximum loop depth over terms (number of distinct indices of the
     /// deepest term) — the paper's asymptotic-complexity proxy.
     pub fn max_loop_depth(&self) -> usize {
-        self.terms.iter().map(|t| t.iter_inds().len()).max().unwrap_or(0)
+        self.terms
+            .iter()
+            .map(|t| t.iter_inds().len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Leading-order scalar-operation count of this path on a tensor with
@@ -251,12 +255,7 @@ pub fn enumerate_paths(kernel: &Kernel) -> Vec<ContractionPath> {
     out
 }
 
-fn recurse(
-    kernel: &Kernel,
-    items: &[Item],
-    terms: &mut Vec<Term>,
-    out: &mut Vec<ContractionPath>,
-) {
+fn recurse(kernel: &Kernel, items: &[Item], terms: &mut Vec<Term>, out: &mut Vec<ContractionPath>) {
     if items.len() == 1 {
         let sparse_term = terms
             .iter()
@@ -317,8 +316,7 @@ fn finalize(path: &mut ContractionPath) {
     let n = path.terms.len();
     for t in 0..n {
         for u in t + 1..n {
-            if path.terms[u].left == Operand::Inter(t) || path.terms[u].right == Operand::Inter(t)
-            {
+            if path.terms[u].left == Operand::Inter(t) || path.terms[u].right == Operand::Inter(t) {
                 path.terms[t].consumer = Some(u);
                 break;
             }
@@ -456,8 +454,8 @@ mod tests {
         // T(i,j,k)*V(k,s) -> X(i,j,s): k contracted.
         assert_eq!(x.out_inds.to_vec(), vec![0, 1, 4]); // i, j, s
         assert_eq!(x.out_lineage().to_vec(), vec![0, 1]); // i, j
-        // The intermediate is appended at the end of the item list, so it
-        // is the *right* operand of the final term.
+                                                          // The intermediate is appended at the end of the item list, so it
+                                                          // is the *right* operand of the final term.
         let last = &p.terms[1];
         assert_eq!(last.right, Operand::Inter(0));
         assert_eq!(last.right_lineage.to_vec(), vec![0, 1]);
@@ -467,8 +465,7 @@ mod tests {
     fn ttmc_flops_match_paper_formulas() {
         // Paper Sec. 2.4.2: T*V then *U costs 2 nnz(T) S + 2 nnz_IJ S R.
         let k = ttmc3();
-        let profile =
-            SparsityProfile::from_coo(&toy_tensor(), &[0, 1, 2]).unwrap();
+        let profile = SparsityProfile::from_coo(&toy_tensor(), &[0, 1, 2]).unwrap();
         let p = path_from_picks(&k, &[(0, 2), (0, 1)]);
         let nnz = profile.prefix_nnz(3) as u128;
         let nnz_ij = profile.prefix_nnz(2) as u128;

@@ -18,9 +18,9 @@ pub fn mttkrp(dims: &[usize], rank: usize) -> Kernel {
     }
     b = b.index("a", rank);
     b = b.output("A", &[MODE_NAMES[0], "a"]);
-    b = b.input("T", &MODE_NAMES[..d].to_vec());
-    for m in 1..d {
-        b = b.input(&format!("F{m}"), &[MODE_NAMES[m], "a"]);
+    b = b.input("T", &MODE_NAMES[..d]);
+    for (m, &mode) in MODE_NAMES.iter().enumerate().take(d).skip(1) {
+        b = b.input(&format!("F{m}"), &[mode, "a"]);
     }
     b.build().expect("mttkrp kernel is valid")
 }
@@ -41,7 +41,7 @@ pub fn ttmc(dims: &[usize], ranks: &[usize]) -> Kernel {
     let mut out = vec![MODE_NAMES[0]];
     out.extend_from_slice(&RANK_NAMES[..d - 1]);
     b = b.output("S", &out);
-    b = b.input("T", &MODE_NAMES[..d].to_vec());
+    b = b.input("T", &MODE_NAMES[..d]);
     for m in 1..d {
         b = b.input(&format!("F{m}"), &[MODE_NAMES[m], RANK_NAMES[m - 1]]);
     }
@@ -62,8 +62,8 @@ pub fn all_mode_ttmc(dims: &[usize], ranks: &[usize]) -> Kernel {
     for (x, &r) in ranks.iter().enumerate() {
         b = b.index(RANK_NAMES[x], r);
     }
-    b = b.output("S", &RANK_NAMES[..d].to_vec());
-    b = b.input("T", &MODE_NAMES[..d].to_vec());
+    b = b.output("S", &RANK_NAMES[..d]);
+    b = b.input("T", &MODE_NAMES[..d]);
     for m in 0..d {
         b = b.input(&format!("F{m}"), &[MODE_NAMES[m], RANK_NAMES[m]]);
     }
@@ -81,10 +81,10 @@ pub fn tttp(dims: &[usize], rank: usize) -> Kernel {
         b = b.index(MODE_NAMES[m], dim);
     }
     b = b.index("r", rank);
-    b = b.output("S", &MODE_NAMES[..d].to_vec());
-    b = b.input("T", &MODE_NAMES[..d].to_vec());
-    for m in 0..d {
-        b = b.input(&format!("F{m}"), &[MODE_NAMES[m], "r"]);
+    b = b.output("S", &MODE_NAMES[..d]);
+    b = b.input("T", &MODE_NAMES[..d]);
+    for (m, &mode) in MODE_NAMES.iter().enumerate().take(d) {
+        b = b.input(&format!("F{m}"), &[mode, "r"]);
     }
     b = b.sparse_output();
     b.build().expect("tttp kernel is valid")
@@ -108,7 +108,7 @@ pub fn tttc(dims: &[usize], rank: usize) -> Kernel {
         b = b.index(bond, rank);
     }
     b = b.output("Z", &[MODE_NAMES[d - 1], bonds[d - 2].as_str()]);
-    b = b.input("T", &MODE_NAMES[..d].to_vec());
+    b = b.input("T", &MODE_NAMES[..d]);
     // First core: A(i, b0).
     b = b.input("A", &[MODE_NAMES[0], bonds[0].as_str()]);
     // Middle cores: G_m(b_{m-1}, mode_m, b_m).

@@ -1,0 +1,208 @@
+//! Minimal, dependency-free stand-in for the subset of the `rand` 0.8
+//! API this workspace uses.
+//!
+//! The build environment for this repository is fully offline (no
+//! crates.io registry), so the real `rand` crate cannot be fetched. The
+//! tensor generators and tests only need seedable, reproducible uniform
+//! sampling; this crate provides exactly that surface — [`Rng`],
+//! [`SeedableRng`], [`rngs::StdRng`] (xoshiro256++ seeded via
+//! splitmix64), and [`distributions::Uniform`] over `f64` — so the rest
+//! of the workspace compiles unmodified against `use rand::...` paths.
+//! Swapping in the real crate later is a one-line manifest change; seeds
+//! will then produce different (but still deterministic) streams, which
+//! no test in this workspace depends on.
+
+use std::ops::Range;
+
+/// Core entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` (53-bit mantissa construction).
+    fn next_f64(&mut self) -> f64 {
+        const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+        (self.next_u64() >> 11) as f64 * SCALE
+    }
+}
+
+/// User-facing sampling methods (blanket-implemented for every
+/// [`RngCore`], mirroring `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample uniformly from a half-open range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Ranges that support single-value uniform sampling.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let span = (self.end - self.start) as u64;
+        // Modulo bias is negligible for the small spans used here.
+        self.start + (rng.next_u64() % span) as usize
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Distribution sampling (mirrors `rand::distributions`).
+pub mod distributions {
+    use super::RngCore;
+
+    /// A sampleable distribution over `T`.
+    pub trait Distribution<T> {
+        /// Draw one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over a half-open `f64` interval.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform {
+        low: f64,
+        high: f64,
+    }
+
+    impl Uniform {
+        /// Uniform over `[low, high)`.
+        pub fn new(low: f64, high: f64) -> Self {
+            assert!(low < high, "Uniform::new requires low < high");
+            Uniform { low, high }
+        }
+    }
+
+    impl Distribution<f64> for Uniform {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            self.low + rng.next_f64() * (self.high - self.low)
+        }
+    }
+}
+
+/// Concrete generators (mirrors `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ generator, seeded via splitmix64 — the shim's
+    /// stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Common imports (mirrors `rand::prelude`).
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, RngCore, SampleRange, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::Uniform;
+    use super::prelude::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_usize_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_f64_in_bounds_and_spread() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dist = Uniform::new(-1.0, 1.0);
+        let mut lo = 0usize;
+        for _ in 0..1000 {
+            let v = dist.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&v));
+            if v < 0.0 {
+                lo += 1;
+            }
+        }
+        // Roughly balanced halves.
+        assert!((300..700).contains(&lo), "{lo}");
+    }
+
+    #[test]
+    fn gen_range_f64_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let u = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -23,7 +23,7 @@ pub struct CooTensor {
 impl CooTensor {
     /// Create an empty COO tensor with the given dimensions.
     pub fn new(dims: &[usize]) -> Result<Self, TensorError> {
-        if dims.iter().any(|&d| d == 0) {
+        if dims.contains(&0) {
             return Err(TensorError::ZeroDim);
         }
         Ok(CooTensor {
@@ -55,7 +55,11 @@ impl CooTensor {
         }
         for (mode, (&c, &d)) in coord.iter().zip(self.dims.iter()).enumerate() {
             if c >= d {
-                return Err(TensorError::CoordOutOfBounds { mode, coord: c, dim: d });
+                return Err(TensorError::CoordOutOfBounds {
+                    mode,
+                    coord: c,
+                    dim: d,
+                });
             }
         }
         self.coords.extend_from_slice(coord);

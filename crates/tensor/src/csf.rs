@@ -57,7 +57,7 @@ impl Csf {
         // prefix_change[e]: smallest level at which entry e differs from
         // entry e-1 (0 for the first entry).
         let mut prefix_change = vec![0usize; n];
-        for e in 1..n {
+        for (e, slot) in prefix_change.iter_mut().enumerate().skip(1) {
             let mut ell = d; // identical prefixes cannot happen after dedup
             for k in 0..d {
                 if pc(e, k) != pc(e - 1, k) {
@@ -66,7 +66,7 @@ impl Csf {
                 }
             }
             debug_assert!(ell < d, "duplicate coordinates after dedup");
-            prefix_change[e] = ell;
+            *slot = ell;
         }
 
         let mut levels: Vec<CsfLevel> = (0..d)
@@ -76,9 +76,9 @@ impl Csf {
             })
             .collect();
 
-        for e in 0..n {
-            for k in prefix_change[e]..d {
-                levels[k].idx.push(pc(e, k));
+        for (e, &ell) in prefix_change.iter().enumerate() {
+            for (k, level) in levels.iter_mut().enumerate().skip(ell) {
+                level.idx.push(pc(e, k));
             }
         }
 
@@ -88,8 +88,7 @@ impl Csf {
             ptr.push(0usize);
             let mut children = 0usize;
             let mut started = false;
-            for e in 0..n {
-                let ell = prefix_change[e];
+            for &ell in &prefix_change {
                 if ell <= k {
                     if started {
                         ptr.push(children);
@@ -209,9 +208,8 @@ impl Csf {
     pub fn to_coo(&self) -> CooTensor {
         let d = self.order();
         let mut out = CooTensor::new(&self.dims).expect("dims validated at construction");
-        let mut stack: Vec<usize> = vec![0; d];
         let mut coord = vec![0usize; d];
-        self.walk_rec(0, self.root_range(), &mut stack, &mut coord, &mut out);
+        self.walk_rec(0, self.root_range(), &mut coord, &mut out);
         out
     }
 
@@ -219,7 +217,6 @@ impl Csf {
         &self,
         level: usize,
         range: std::ops::Range<usize>,
-        stack: &mut Vec<usize>,
         coord: &mut Vec<usize>,
         out: &mut CooTensor,
     ) {
@@ -227,10 +224,11 @@ impl Csf {
             coord[self.mode_order[level]] = self.node_coord(level, node);
             if level + 1 == self.order() {
                 let c = coord.clone();
-                out.push(&c, self.leaf_val(node)).expect("in-bounds by construction");
+                out.push(&c, self.leaf_val(node))
+                    .expect("in-bounds by construction");
             } else {
                 let ch = self.children(level, node);
-                self.walk_rec(level + 1, ch, stack, coord, out);
+                self.walk_rec(level + 1, ch, coord, out);
             }
         }
     }
@@ -339,8 +337,7 @@ mod tests {
 
     #[test]
     fn single_mode_tensor() {
-        let coo =
-            CooTensor::from_entries(&[5], vec![(vec![4], 2.0), (vec![1], 1.0)]).unwrap();
+        let coo = CooTensor::from_entries(&[5], vec![(vec![4], 2.0), (vec![1], 1.0)]).unwrap();
         let csf = Csf::from_coo(&coo, &[0]).unwrap();
         assert_eq!(csf.level(0).idx, vec![1, 4]);
         assert_eq!(csf.vals(), &[1.0, 2.0]);

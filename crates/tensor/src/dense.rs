@@ -107,9 +107,9 @@ impl DenseTensor {
     pub fn offset(&self, coord: &[usize]) -> usize {
         debug_assert_eq!(coord.len(), self.dims.len());
         let mut off = 0usize;
-        for k in 0..coord.len() {
-            debug_assert!(coord[k] < self.dims[k]);
-            off += coord[k] * self.strides[k];
+        for (k, (&c, &s)) in coord.iter().zip(&self.strides).enumerate() {
+            debug_assert!(c < self.dims[k]);
+            off += c * s;
         }
         off
     }

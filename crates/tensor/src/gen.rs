@@ -24,6 +24,13 @@ pub fn random_dense<R: Rng + ?Sized>(dims: &[usize], rng: &mut R) -> DenseTensor
     t
 }
 
+/// Generate a flat vector of i.i.d. uniform values in `[-1, 1)` (raw
+/// buffer fixture for microkernel tests and benches).
+pub fn random_vec<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<f64> {
+    let dist = Uniform::new(-1.0f64, 1.0);
+    (0..n).map(|_| dist.sample(rng)).collect()
+}
+
 fn pack(coord: &[usize], dims: &[usize]) -> u128 {
     let mut key = 0u128;
     for (c, d) in coord.iter().zip(dims) {
@@ -87,7 +94,7 @@ pub fn skewed_coo<R: Rng + ?Sized>(
     alpha: f64,
     rng: &mut R,
 ) -> Result<CooTensor, TensorError> {
-    if dims.iter().any(|&d| d == 0) {
+    if dims.contains(&0) {
         return Err(TensorError::ZeroDim);
     }
     let vdist = Uniform::new(-1.0f64, 1.0);

@@ -24,7 +24,7 @@ pub mod profile;
 pub use coo::CooTensor;
 pub use csf::{Csf, CsfLevel};
 pub use dense::DenseTensor;
-pub use gen::{frostt_like, random_coo, random_dense, skewed_coo, FrosttPreset};
+pub use gen::{frostt_like, random_coo, random_dense, random_vec, skewed_coo, FrosttPreset};
 pub use profile::SparsityProfile;
 
 /// Errors produced by tensor construction and validation.

@@ -78,7 +78,7 @@ impl SparsityProfile {
         if !is_permutation(mode_order, d) {
             return Err(TensorError::InvalidPermutation);
         }
-        if dims.iter().any(|&x| x == 0) {
+        if dims.contains(&0) {
             return Err(TensorError::ZeroDim);
         }
         let mut prefix_nnz = vec![1u64; d + 1];

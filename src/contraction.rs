@@ -1,0 +1,520 @@
+//! The `Contraction` facade: parse → bind → plan → execute.
+//!
+//! One front door for the whole SpTTN pipeline. An einsum-style
+//! expression is parsed into its tensor structure; operands are bound
+//! (one CSF sparse input, dense factors by name); dimensions are
+//! inferred from the bound tensors; [`Contraction::plan`] runs the
+//! Sec. 5 planner under a selectable tree-separable cost model; and
+//! [`Plan::execute`] interprets the fused loop forest, returning the
+//! output tensor.
+//!
+//! Two expression syntaxes are accepted:
+//!
+//! - paper style: `"A(i,a) = T(i,j,k) * B(j,a) * C(k,a)"`
+//! - arrow style: `"T[i,j,k]*B[j,a]*C[k,a]->A[i,a]"`
+//!
+//! In both, the **first right-hand-side tensor is the sparse input**,
+//! and its written index order must match the CSF storage order of the
+//! bound tensor. When the output's index set equals the sparse input's,
+//! the output shares the sparse pattern (TTTP-like) and
+//! [`Plan::execute`] returns [`ContractionOutput::Sparse`].
+
+use crate::{Result, SpttnError};
+use spttn_cost::{
+    plan as cost_plan, BlasAware, CacheMiss, MaxBufferDim, MaxBufferSize, PlannedNest, TreeCost,
+};
+use spttn_exec::{execute_forest, ContractionOutput};
+use spttn_ir::{
+    buffers_for_forest, build_forest, BufferSpec, ContractionPath, Kernel, KernelBuilder,
+    KernelError, LoopForest, NestSpec,
+};
+use spttn_tensor::{Csf, DenseTensor, SparsityProfile};
+use std::collections::HashMap;
+
+/// Cost model driving the planner (paper Defs. 4.5, 4.6 and Sec. 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostModel {
+    /// Minimize the maximum intermediate-buffer dimensionality (Def. 4.5).
+    MaxBufferDim,
+    /// Minimize the maximum intermediate-buffer element count (Def. 4.5).
+    MaxBufferSize,
+    /// Minimize modeled cache misses with footprint exponent `d` (Def. 4.6).
+    CacheMiss {
+        /// Cache-footprint exponent.
+        d: usize,
+    },
+    /// Maximize BLAS-offloadable dense loops under a buffer-dimension
+    /// bound (Sec. 5; the paper's experiments use bound 2).
+    BlasAware {
+        /// Maximum allowed buffer dimensionality.
+        buffer_dim_bound: usize,
+    },
+}
+
+/// Options for [`Contraction::plan`].
+#[derive(Debug, Clone)]
+pub struct PlanOptions {
+    /// Cost model selecting among loop nests.
+    pub cost_model: CostModel,
+    /// Maximum contraction paths the DP runs on per cost tier.
+    pub max_paths_per_tier: usize,
+    /// Maximum asymptotic-cost tiers to explore before giving up.
+    pub max_tiers: usize,
+    /// Paths within this factor of the tier leader share the tier.
+    pub tier_slack: f64,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            cost_model: CostModel::BlasAware {
+                buffer_dim_bound: 2,
+            },
+            max_paths_per_tier: 64,
+            max_tiers: 16,
+            tier_slack: 1.0,
+        }
+    }
+}
+
+impl PlanOptions {
+    /// Options with a specific cost model and default search limits.
+    pub fn with_cost_model(cost_model: CostModel) -> Self {
+        PlanOptions {
+            cost_model,
+            ..Default::default()
+        }
+    }
+
+    fn search(&self) -> spttn_cost::PlanOptions {
+        spttn_cost::PlanOptions {
+            max_paths_per_tier: self.max_paths_per_tier,
+            max_tiers: self.max_tiers,
+            tier_slack: self.tier_slack,
+        }
+    }
+}
+
+/// One tensor reference parsed from the expression.
+#[derive(Debug, Clone)]
+struct RawRef {
+    name: String,
+    indices: Vec<String>,
+}
+
+/// A contraction being assembled: parsed structure plus bound operands.
+#[derive(Debug, Clone, Default)]
+pub struct Contraction {
+    output: Option<RawRef>,
+    inputs: Vec<RawRef>,
+    /// Pre-built kernel (bypasses parsing and dimension inference).
+    kernel: Option<Kernel>,
+    sparse: Option<Csf>,
+    factors: HashMap<String, DenseTensor>,
+}
+
+impl Contraction {
+    /// Parse an einsum-style SpTTN expression (structure only;
+    /// dimensions are inferred from the tensors bound later).
+    pub fn parse(expr: &str) -> Result<Self> {
+        let (output, inputs) = parse_expression(expr)?;
+        if inputs.is_empty() {
+            return Err(KernelError::NoInputs.into());
+        }
+        Ok(Contraction {
+            output: Some(output),
+            inputs,
+            ..Default::default()
+        })
+    }
+
+    /// Start from an existing [`Kernel`] (e.g. one of
+    /// [`spttn_ir::stdkernels`]); bound tensors are validated against
+    /// the kernel's declared dimensions.
+    pub fn from_kernel(kernel: Kernel) -> Self {
+        let as_raw = |r: &spttn_ir::TensorRef| RawRef {
+            name: r.name.clone(),
+            indices: r
+                .indices
+                .iter()
+                .map(|&i| kernel.index_name(i).to_string())
+                .collect(),
+        };
+        Contraction {
+            output: Some(as_raw(&kernel.output)),
+            inputs: kernel.inputs.iter().map(as_raw).collect(),
+            kernel: Some(kernel),
+            ..Default::default()
+        }
+    }
+
+    /// Bind the sparse input (the first right-hand-side tensor). The
+    /// CSF's storage order must match the expression's written index
+    /// order for that tensor.
+    pub fn with_sparse_input(mut self, csf: Csf) -> Self {
+        self.sparse = Some(csf);
+        self
+    }
+
+    /// Bind a dense factor by tensor name.
+    pub fn with_factor(mut self, name: &str, tensor: DenseTensor) -> Self {
+        self.factors.insert(name.to_string(), tensor);
+        self
+    }
+
+    /// Run the planner: choose a contraction path and loop orders
+    /// minimizing the configured cost model, with tier fallback
+    /// (paper Sec. 5), and prepare the executable [`Plan`].
+    pub fn plan(mut self, opts: PlanOptions) -> Result<Plan> {
+        let Some(csf) = self.sparse.take() else {
+            return Err(SpttnError::Planning(
+                "no sparse input bound; call with_sparse_input".into(),
+            ));
+        };
+        let output = self
+            .output
+            .clone()
+            .ok_or_else(|| SpttnError::Planning("no expression parsed".into()))?;
+
+        let kernel = match self.kernel.take() {
+            Some(k) => k,
+            None => infer_kernel(&output, &self.inputs, &csf, &self.factors)?,
+        };
+
+        // Collect dense factors in input order, moving each binding out
+        // of the map (no clone); a name appearing in several input slots
+        // reuses the first tensor taken.
+        let mut factors: Vec<DenseTensor> = Vec::new();
+        let mut taken: HashMap<String, usize> = HashMap::new();
+        for (slot, r) in kernel.inputs.iter().enumerate() {
+            if slot == kernel.sparse_input {
+                continue;
+            }
+            let t = match self.factors.remove(&r.name) {
+                Some(t) => t,
+                None => match taken.get(&r.name) {
+                    Some(&at) => factors[at].clone(),
+                    None => {
+                        return Err(SpttnError::Planning(format!(
+                            "dense factor '{}' not bound; call with_factor(\"{}\", ...)",
+                            r.name, r.name
+                        )))
+                    }
+                },
+            };
+            taken.insert(r.name.clone(), factors.len());
+            factors.push(t);
+        }
+        if let Some(name) = self.factors.keys().next() {
+            return Err(SpttnError::Planning(format!(
+                "bound factor '{name}' does not appear in the expression"
+            )));
+        }
+
+        // Validate the CSF and factor shapes with the same rules the
+        // executor applies.
+        let refs: Vec<&DenseTensor> = factors.iter().collect();
+        spttn_exec::validate_operands(&kernel, &csf, &refs)?;
+        drop(refs);
+
+        let profile = SparsityProfile::from_csf(&csf);
+        let planned = run_planner(&kernel, &profile, &opts)?;
+        let forest = build_forest(&kernel, &planned.path, &planned.spec)?;
+        let buffers = buffers_for_forest(&kernel, &planned.path, &forest);
+
+        Ok(Plan {
+            kernel,
+            path: planned.path,
+            spec: planned.spec,
+            forest,
+            buffers,
+            flops: planned.flops,
+            tier: planned.tier,
+            cost: planned.cost,
+            csf,
+            factors,
+        })
+    }
+}
+
+/// Type-erased planner output.
+struct Planned {
+    path: ContractionPath,
+    spec: NestSpec,
+    flops: u128,
+    tier: usize,
+    cost: String,
+}
+
+fn erase<V: std::fmt::Debug>(p: PlannedNest<V>) -> Planned {
+    Planned {
+        cost: format!("{:?}", p.value),
+        path: p.path,
+        spec: p.spec,
+        flops: p.flops,
+        tier: p.tier,
+    }
+}
+
+fn run_planner(kernel: &Kernel, profile: &SparsityProfile, opts: &PlanOptions) -> Result<Planned> {
+    fn go<C: TreeCost>(
+        kernel: &Kernel,
+        profile: &SparsityProfile,
+        cost: &C,
+        opts: &PlanOptions,
+    ) -> Result<Planned>
+    where
+        C::Value: std::fmt::Debug,
+    {
+        cost_plan(kernel, profile, cost, &opts.search())
+            .map(erase)
+            .ok_or_else(|| SpttnError::Planning("no feasible loop nest found".into()))
+    }
+    match opts.cost_model {
+        CostModel::MaxBufferDim => go(kernel, profile, &MaxBufferDim, opts),
+        CostModel::MaxBufferSize => go(kernel, profile, &MaxBufferSize, opts),
+        CostModel::CacheMiss { d } => go(kernel, profile, &CacheMiss { d }, opts),
+        CostModel::BlasAware { buffer_dim_bound } => {
+            go(kernel, profile, &BlasAware { buffer_dim_bound }, opts)
+        }
+    }
+}
+
+/// A planned, executable contraction.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    kernel: Kernel,
+    path: ContractionPath,
+    spec: NestSpec,
+    forest: LoopForest,
+    buffers: Vec<BufferSpec>,
+    /// Leading-order scalar-operation count of the chosen path.
+    pub flops: u128,
+    /// Asymptotic-cost tier the path came from (0 = optimal).
+    pub tier: usize,
+    /// Debug rendering of the chosen nest's cost value.
+    pub cost: String,
+    csf: Csf,
+    factors: Vec<DenseTensor>,
+}
+
+impl Plan {
+    /// Execute the fused loop nest over the bound operands.
+    pub fn execute(&self) -> Result<ContractionOutput> {
+        let refs: Vec<&DenseTensor> = self.factors.iter().collect();
+        execute_forest(&self.kernel, &self.path, &self.forest, &self.csf, &refs)
+    }
+
+    /// The validated kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The chosen contraction path.
+    pub fn path(&self) -> &ContractionPath {
+        &self.path
+    }
+
+    /// The chosen loop orders.
+    pub fn spec(&self) -> &NestSpec {
+        &self.spec
+    }
+
+    /// The fused loop forest the executor walks.
+    pub fn forest(&self) -> &LoopForest {
+        &self.forest
+    }
+
+    /// Intermediate buffers of the nest (Eq. 5).
+    pub fn buffers(&self) -> &[BufferSpec] {
+        &self.buffers
+    }
+
+    /// Human-readable summary: kernel, path, orders, loop nest, buffers.
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("kernel: {}\n", self.kernel.to_einsum()));
+        s.push_str(&format!("path:   {}\n", self.path.describe(&self.kernel)));
+        s.push_str(&format!("orders: {}\n", self.spec.describe(&self.kernel)));
+        s.push_str(&format!(
+            "cost:   {} (tier {}, ~{} flops)\n",
+            self.cost, self.tier, self.flops
+        ));
+        for b in &self.buffers {
+            let names: Vec<&str> = b.inds.iter().map(|&i| self.kernel.index_name(i)).collect();
+            s.push_str(&format!(
+                "buffer: X{} [{}] = {} elems\n",
+                b.producer,
+                names.join(","),
+                b.size()
+            ));
+        }
+        s.push_str("nest:\n");
+        s.push_str(&self.forest.render(&self.kernel, &self.path));
+        s
+    }
+}
+
+/// Parse either expression syntax into (output, inputs).
+fn parse_expression(expr: &str) -> Result<(RawRef, Vec<RawRef>)> {
+    let e = expr.replace('[', "(").replace(']', ")");
+    let (lhs, rhs) = if let Some((ins, out)) = e.split_once("->") {
+        (out.trim().to_string(), ins.trim().to_string())
+    } else if let Some(pos) = e.find("+=") {
+        (e[..pos].trim().to_string(), e[pos + 2..].trim().to_string())
+    } else if let Some(pos) = e.find('=') {
+        (e[..pos].trim().to_string(), e[pos + 1..].trim().to_string())
+    } else {
+        return Err(SpttnError::Kernel(KernelError::Parse(
+            "expected '=' or '->' in contraction expression".into(),
+        )));
+    };
+    let output = parse_ref(&lhs)?;
+    let mut inputs = Vec::new();
+    for part in split_top_level(&rhs, '*') {
+        inputs.push(parse_ref(&part)?);
+    }
+    Ok((output, inputs))
+}
+
+fn parse_ref(s: &str) -> Result<RawRef> {
+    let s = s.trim();
+    let err = |m: String| SpttnError::Kernel(KernelError::Parse(m));
+    let open = s
+        .find('(')
+        .ok_or_else(|| err(format!("expected '(' or '[' in tensor reference '{s}'")))?;
+    if !s.ends_with(')') {
+        return Err(err(format!("unterminated tensor reference '{s}'")));
+    }
+    let name = s[..open].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(err(format!("bad tensor name in '{s}'")));
+    }
+    let inner = &s[open + 1..s.len() - 1];
+    let indices: Vec<String> = if inner.trim().is_empty() {
+        Vec::new()
+    } else {
+        inner.split(',').map(|x| x.trim().to_string()).collect()
+    };
+    for i in &indices {
+        if i.is_empty() || !i.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err(err(format!("bad index name '{i}' in '{s}'")));
+        }
+    }
+    Ok(RawRef {
+        name: name.to_string(),
+        indices,
+    })
+}
+
+fn split_top_level(s: &str, sep: char) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            c if c == sep && depth == 0 => out.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Infer every index dimension from the bound tensors and build the
+/// validated kernel.
+fn infer_kernel(
+    output: &RawRef,
+    inputs: &[RawRef],
+    csf: &Csf,
+    factors: &HashMap<String, DenseTensor>,
+) -> Result<Kernel> {
+    let mut dims: HashMap<String, usize> = HashMap::new();
+    let mut learn = |name: &str, dim: usize| -> Result<()> {
+        match dims.get(name) {
+            Some(&d) if d != dim => Err(SpttnError::Shape(format!(
+                "index '{name}' bound to both dimension {d} and {dim}"
+            ))),
+            Some(_) => Ok(()),
+            None => {
+                dims.insert(name.to_string(), dim);
+                Ok(())
+            }
+        }
+    };
+
+    // Sparse input: written order == CSF storage order.
+    let sparse = &inputs[0];
+    if csf.order() != sparse.indices.len() {
+        return Err(SpttnError::Shape(format!(
+            "sparse tensor '{}' is written with {} indices but the CSF has {} modes",
+            sparse.name,
+            sparse.indices.len(),
+            csf.order()
+        )));
+    }
+    for (level, idx) in sparse.indices.iter().enumerate() {
+        learn(idx, csf.dims()[csf.mode_order()[level]])?;
+    }
+    for r in &inputs[1..] {
+        let t = factors.get(&r.name).ok_or_else(|| {
+            SpttnError::Planning(format!(
+                "dense factor '{}' not bound; call with_factor(\"{}\", ...)",
+                r.name, r.name
+            ))
+        })?;
+        if t.order() != r.indices.len() {
+            return Err(SpttnError::Shape(format!(
+                "factor '{}' is written with {} indices but the tensor has {} modes",
+                r.name,
+                r.indices.len(),
+                t.order()
+            )));
+        }
+        for (pos, idx) in r.indices.iter().enumerate() {
+            learn(idx, t.dims()[pos])?;
+        }
+    }
+    for idx in &output.indices {
+        if !dims.contains_key(idx) {
+            return Err(SpttnError::Kernel(KernelError::UnboundOutputIndex(
+                idx.clone(),
+            )));
+        }
+    }
+
+    let mut b = KernelBuilder::new();
+    // Declare indices in first-appearance order (sparse modes first).
+    for r in inputs {
+        for idx in &r.indices {
+            b = b.index(idx, dims[idx]);
+        }
+    }
+    let oinds: Vec<&str> = output.indices.iter().map(String::as_str).collect();
+    b = b.output(&output.name, &oinds);
+    for r in inputs {
+        let iinds: Vec<&str> = r.indices.iter().map(String::as_str).collect();
+        b = b.input(&r.name, &iinds);
+    }
+    // Pattern-sharing output: index set equals the sparse input's.
+    let mut oset: Vec<&String> = output.indices.iter().collect();
+    let mut sset: Vec<&String> = sparse.indices.iter().collect();
+    oset.sort();
+    oset.dedup();
+    sset.sort();
+    sset.dedup();
+    if oset == sset {
+        b = b.sparse_output();
+    }
+    Ok(b.build()?)
+}

@@ -1,1 +1,48 @@
-pub use spttn;
+//! # spttn
+//!
+//! Minimum-cost loop nests for contraction of a sparse tensor with a
+//! tensor network (SPAA 2024), as one pipeline: **parse → plan →
+//! execute**.
+//!
+//! The facade lives in [`Contraction`]: parse an einsum-style
+//! expression, bind a CSF sparse input and dense factors, plan under a
+//! selectable tree-separable cost model ([`CostModel`]), and execute
+//! the fused loop nest. The underlying layers remain available as
+//! re-exported crates ([`ir`], [`tensor`], [`cost`], [`exec`]) for
+//! callers that need direct control.
+//!
+//! ```
+//! use rand::prelude::*;
+//! use spttn::{Contraction, CostModel, PlanOptions};
+//! use spttn_tensor::{random_coo, random_dense, Csf};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let coo = random_coo(&[30, 20, 25], 200, &mut rng).unwrap();
+//! let csf = Csf::from_coo(&coo, &[0, 1, 2]).unwrap();
+//!
+//! let plan = Contraction::parse("T[i,j,k]*A[j,r]*B[k,r]->O[i,r]")
+//!     .unwrap()
+//!     .with_sparse_input(csf)
+//!     .with_factor("A", random_dense(&[20, 8], &mut rng))
+//!     .with_factor("B", random_dense(&[25, 8], &mut rng))
+//!     .plan(PlanOptions::with_cost_model(CostModel::MaxBufferSize))
+//!     .unwrap();
+//!
+//! let out = plan.execute().unwrap();
+//! assert_eq!(out.to_dense().dims(), &[30, 8]);
+//! ```
+
+pub mod contraction;
+
+pub use contraction::{Contraction, CostModel, Plan, PlanOptions};
+pub use spttn_core::{Result, Scalar, SpttnError};
+pub use spttn_exec::ContractionOutput;
+
+/// Cost models and loop-order search (re-export of `spttn-cost`).
+pub use spttn_cost as cost;
+/// Execution subsystem (re-export of `spttn-exec`).
+pub use spttn_exec as exec;
+/// Kernel IR, paths, orders, forests (re-export of `spttn-ir`).
+pub use spttn_ir as ir;
+/// Tensor formats and generators (re-export of `spttn-tensor`).
+pub use spttn_tensor as tensor;

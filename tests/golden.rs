@@ -1,0 +1,249 @@
+//! End-to-end golden tests: the full parse → plan → execute pipeline
+//! must reproduce the naive dense einsum reference for the paper's
+//! standard kernels, under every cost model.
+
+use rand::prelude::*;
+use spttn::ir::stdkernels;
+use spttn::ir::Kernel;
+use spttn::tensor::{random_coo, random_dense, CooTensor, Csf, DenseTensor};
+use spttn::{Contraction, ContractionOutput, CostModel, PlanOptions};
+use spttn_exec::naive_einsum;
+
+const TOL: f64 = 1e-9;
+
+const ALL_MODELS: [CostModel; 4] = [
+    CostModel::MaxBufferDim,
+    CostModel::MaxBufferSize,
+    CostModel::CacheMiss { d: 1 },
+    CostModel::BlasAware {
+        buffer_dim_bound: 2,
+    },
+];
+
+/// Generate random operands for a kernel and compute the oracle output.
+fn operands(
+    kernel: &Kernel,
+    nnz: usize,
+    seed: u64,
+) -> (CooTensor, Vec<(String, DenseTensor)>, DenseTensor) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sparse_dims = kernel.ref_dims(kernel.sparse_ref());
+    let coo = random_coo(&sparse_dims, nnz, &mut rng).unwrap();
+    let mut factors = Vec::new();
+    for (slot, r) in kernel.inputs.iter().enumerate() {
+        if slot == kernel.sparse_input {
+            continue;
+        }
+        factors.push((r.name.clone(), random_dense(&kernel.ref_dims(r), &mut rng)));
+    }
+    let sparse_dense = coo.to_dense();
+    let mut all: Vec<&DenseTensor> = Vec::new();
+    let mut next = 0usize;
+    for slot in 0..kernel.inputs.len() {
+        if slot == kernel.sparse_input {
+            all.push(&sparse_dense);
+        } else {
+            all.push(&factors[next].1);
+            next += 1;
+        }
+    }
+    let want = naive_einsum(kernel, &all).unwrap();
+    (coo, factors, want)
+}
+
+/// Plan and execute a kernel under one cost model, comparing to the
+/// oracle.
+fn check_kernel(kernel: &Kernel, nnz: usize, seed: u64, model: CostModel) {
+    let (coo, factors, want) = operands(kernel, nnz, seed);
+    let order: Vec<usize> = (0..coo.order()).collect();
+    let csf = Csf::from_coo(&coo, &order).unwrap();
+    let mut c = Contraction::from_kernel(kernel.clone()).with_sparse_input(csf);
+    for (name, t) in &factors {
+        c = c.with_factor(name, t.clone());
+    }
+    let plan = c
+        .plan(PlanOptions::with_cost_model(model))
+        .unwrap_or_else(|e| panic!("planning failed for {model:?}: {e}"));
+    let got = plan.execute().unwrap();
+    assert!(
+        got.to_dense().approx_eq(&want, TOL),
+        "mismatch for {} under {model:?}\n{}",
+        kernel.to_einsum(),
+        plan.describe()
+    );
+}
+
+#[test]
+fn mttkrp_golden_all_cost_models() {
+    let k = stdkernels::mttkrp(&[12, 10, 11], 5);
+    for (i, model) in ALL_MODELS.into_iter().enumerate() {
+        check_kernel(&k, 150, 100 + i as u64, model);
+    }
+}
+
+#[test]
+fn ttmc_golden_all_cost_models() {
+    let k = stdkernels::ttmc(&[10, 9, 11], &[4, 5]);
+    for (i, model) in ALL_MODELS.into_iter().enumerate() {
+        check_kernel(&k, 120, 200 + i as u64, model);
+    }
+}
+
+#[test]
+fn order4_ttmc_golden() {
+    let k = stdkernels::ttmc(&[6, 6, 6, 6], &[3, 3, 3]);
+    check_kernel(
+        &k,
+        80,
+        300,
+        CostModel::BlasAware {
+            buffer_dim_bound: 2,
+        },
+    );
+    check_kernel(&k, 80, 301, CostModel::MaxBufferSize);
+}
+
+#[test]
+fn tttp_golden_sparse_output() {
+    let k = stdkernels::tttp(&[8, 9, 10], 4);
+    let (coo, factors, want) = operands(&k, 100, 400);
+    let csf = Csf::from_coo(&coo, &[0, 1, 2]).unwrap();
+    let mut c = Contraction::from_kernel(k).with_sparse_input(csf);
+    for (name, t) in &factors {
+        c = c.with_factor(name, t.clone());
+    }
+    let plan = c
+        .plan(PlanOptions::with_cost_model(CostModel::MaxBufferSize))
+        .unwrap();
+    let got = plan.execute().unwrap();
+    let ContractionOutput::Sparse(out) = &got else {
+        panic!("TTTP output must share the sparse pattern");
+    };
+    assert_eq!(out.nnz(), coo.nnz());
+    assert!(got.to_dense().approx_eq(&want, TOL));
+}
+
+#[test]
+fn all_mode_ttmc_golden() {
+    let k = stdkernels::all_mode_ttmc(&[8, 8, 8], &[3, 4, 5]);
+    check_kernel(&k, 90, 500, CostModel::MaxBufferSize);
+}
+
+/// The acceptance-criterion form: arrow-syntax parse, plan, execute.
+#[test]
+fn parsed_mttkrp_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(600);
+    let coo = random_coo(&[12, 10, 11], 150, &mut rng).unwrap();
+    let csf = Csf::from_coo(&coo, &[0, 1, 2]).unwrap();
+    let a = random_dense(&[10, 5], &mut rng);
+    let b = random_dense(&[11, 5], &mut rng);
+
+    let plan = Contraction::parse("T[i,j,k]*A[j,r]*B[k,r]->O[i,r]")
+        .unwrap()
+        .with_sparse_input(csf)
+        .with_factor("A", a.clone())
+        .with_factor("B", b.clone())
+        .plan(PlanOptions::default())
+        .unwrap();
+    let got = plan.execute().unwrap();
+
+    let k = spttn::ir::parse_kernel(
+        "O(i,r) = T(i,j,k) * A(j,r) * B(k,r)",
+        &[("i", 12), ("j", 10), ("k", 11), ("r", 5)],
+    )
+    .unwrap();
+    let t_dense = coo.to_dense();
+    let want = naive_einsum(&k, &[&t_dense, &a, &b]).unwrap();
+    assert!(got.to_dense().approx_eq(&want, TOL));
+}
+
+/// Paper-syntax parse of TTMc with per-mode ranks.
+#[test]
+fn parsed_ttmc_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(700);
+    let coo = random_coo(&[10, 9, 11], 120, &mut rng).unwrap();
+    let csf = Csf::from_coo(&coo, &[0, 1, 2]).unwrap();
+    let u = random_dense(&[9, 4], &mut rng);
+    let v = random_dense(&[11, 5], &mut rng);
+
+    let plan = Contraction::parse("S(i,r,s) = T(i,j,k) * U(j,r) * V(k,s)")
+        .unwrap()
+        .with_sparse_input(csf)
+        .with_factor("U", u.clone())
+        .with_factor("V", v.clone())
+        .plan(PlanOptions::with_cost_model(CostModel::CacheMiss { d: 1 }))
+        .unwrap();
+    let got = plan.execute().unwrap();
+
+    let k = spttn::ir::parse_kernel(
+        "S(i,r,s) = T(i,j,k) * U(j,r) * V(k,s)",
+        &[("i", 10), ("j", 9), ("k", 11), ("r", 4), ("s", 5)],
+    )
+    .unwrap();
+    let t_dense = coo.to_dense();
+    let want = naive_einsum(&k, &[&t_dense, &u, &v]).unwrap();
+    assert!(got.to_dense().approx_eq(&want, TOL));
+}
+
+/// Facade error surface: unbound factors, shape conflicts, bad names.
+#[test]
+fn facade_reports_unified_errors() {
+    let mut rng = StdRng::seed_from_u64(800);
+    let coo = random_coo(&[6, 7, 8], 40, &mut rng).unwrap();
+    let csf = Csf::from_coo(&coo, &[0, 1, 2]).unwrap();
+
+    // Missing sparse input.
+    let e = Contraction::parse("O(i,r) = T(i,j,k) * A(j,r) * B(k,r)")
+        .unwrap()
+        .plan(PlanOptions::default());
+    assert!(matches!(e, Err(spttn::SpttnError::Planning(_))));
+
+    // Missing factor.
+    let e = Contraction::parse("O(i,r) = T(i,j,k) * A(j,r) * B(k,r)")
+        .unwrap()
+        .with_sparse_input(csf.clone())
+        .with_factor("A", random_dense(&[7, 3], &mut rng))
+        .plan(PlanOptions::default());
+    assert!(matches!(e, Err(spttn::SpttnError::Planning(_))));
+
+    // Conflicting dimension for shared index r.
+    let e = Contraction::parse("O(i,r) = T(i,j,k) * A(j,r) * B(k,r)")
+        .unwrap()
+        .with_sparse_input(csf.clone())
+        .with_factor("A", random_dense(&[7, 3], &mut rng))
+        .with_factor("B", random_dense(&[8, 4], &mut rng))
+        .plan(PlanOptions::default());
+    assert!(matches!(e, Err(spttn::SpttnError::Shape(_))));
+
+    // Factor name not in the expression.
+    let e = Contraction::parse("O(i,r) = T(i,j,k) * A(j,r) * B(k,r)")
+        .unwrap()
+        .with_sparse_input(csf)
+        .with_factor("A", random_dense(&[7, 3], &mut rng))
+        .with_factor("B", random_dense(&[8, 3], &mut rng))
+        .with_factor("Z", random_dense(&[2, 2], &mut rng))
+        .plan(PlanOptions::default());
+    assert!(matches!(e, Err(spttn::SpttnError::Planning(_))));
+
+    // Unparseable expressions.
+    assert!(Contraction::parse("garbage").is_err());
+    assert!(Contraction::parse("O(i) = ").is_err());
+}
+
+/// Plan::describe is informative enough for debugging.
+#[test]
+fn plan_describe_mentions_structure() {
+    let k = stdkernels::mttkrp(&[8, 8, 8], 4);
+    let (coo, factors, _) = operands(&k, 60, 900);
+    let csf = Csf::from_coo(&coo, &[0, 1, 2]).unwrap();
+    let mut c = Contraction::from_kernel(k).with_sparse_input(csf);
+    for (name, t) in &factors {
+        c = c.with_factor(name, t.clone());
+    }
+    let plan = c.plan(PlanOptions::default()).unwrap();
+    let d = plan.describe();
+    assert!(d.contains("kernel: A(i,a)"), "{d}");
+    assert!(d.contains("path:"), "{d}");
+    assert!(d.contains("nest:"), "{d}");
+    assert!(d.contains("for (i, node) in csf_level_0"), "{d}");
+}
