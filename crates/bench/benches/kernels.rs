@@ -1,15 +1,16 @@
 //! End-to-end kernel execution: plan once, execute repeatedly — the
-//! hot path a serving deployment would run.
+//! hot path a serving deployment would run, now through the reusable
+//! `Executor` (zero per-call allocation).
 //!
 //! Run with `cargo bench -p spttn-bench --bench kernels`.
 
 use rand::prelude::*;
 use spttn::ir::{stdkernels, Kernel};
 use spttn::tensor::{random_coo, random_dense, Csf};
-use spttn::{Contraction, CostModel, PlanOptions};
+use spttn::{Contraction, CostModel, Executor, PlanOptions};
 use spttn_bench::{black_box, Harness};
 
-fn plan_for(kernel: &Kernel, nnz: usize, seed: u64) -> spttn::Plan {
+fn executor_for(kernel: &Kernel, nnz: usize, seed: u64) -> Executor {
     let mut rng = StdRng::seed_from_u64(seed);
     let sparse_dims = kernel.ref_dims(kernel.sparse_ref());
     let coo = random_coo(&sparse_dims, nnz, &mut rng).unwrap();
@@ -22,10 +23,10 @@ fn plan_for(kernel: &Kernel, nnz: usize, seed: u64) -> spttn::Plan {
         }
         c = c.with_factor(&r.name, random_dense(&kernel.ref_dims(r), &mut rng));
     }
-    c.plan(PlanOptions::with_cost_model(CostModel::BlasAware {
+    c.compile(PlanOptions::with_cost_model(CostModel::BlasAware {
         buffer_dim_bound: 2,
     }))
-    .expect("plan succeeds")
+    .expect("compile succeeds")
 }
 
 fn main() {
@@ -34,11 +35,12 @@ fn main() {
         ("ttmc-3d-64", stdkernels::ttmc(&[64, 64, 64], &[8, 8]), 8000),
         ("tttp-3d-64", stdkernels::tttp(&[64, 64, 64], 8), 8000),
     ];
-    let mut h = Harness::new("Plan::execute (fused nests)");
+    let mut h = Harness::new("Executor::execute_into (fused nests)");
     for (name, kernel, nnz) in &suite {
-        let plan = plan_for(kernel, *nnz, 7);
+        let mut exec = executor_for(kernel, *nnz, 7);
+        let mut out = exec.output_template();
         h.bench_function(name, move || {
-            let out = plan.execute().expect("execution succeeds");
+            exec.execute_into(&mut out).expect("execution succeeds");
             black_box(out.to_dense().sum());
         });
     }

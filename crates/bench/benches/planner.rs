@@ -1,30 +1,23 @@
-//! Planner benchmark: `spttn::Contraction::plan` over the stdkernels
+//! Planner benchmark: symbolic `Contraction::plan` over the stdkernels
 //! suite, per cost model — the perf baseline future planner PRs are
-//! measured against.
+//! measured against. Planning is purely structural (Shapes + sparsity
+//! profile); no tensor data is bound.
 //!
 //! Run with `cargo bench -p spttn-bench --bench planner`.
 
 use rand::prelude::*;
 use spttn::ir::{stdkernels, Kernel};
-use spttn::tensor::{random_coo, random_dense, Csf};
-use spttn::{Contraction, CostModel, PlanOptions};
+use spttn::tensor::{random_coo, SparsityProfile};
+use spttn::{Contraction, CostModel, PlanOptions, Shapes};
 use spttn_bench::{black_box, Harness};
 
-/// Build a bound contraction for a kernel with random operands.
-fn bound(kernel: &Kernel, nnz: usize, seed: u64) -> Contraction {
+/// Exact sparsity profile of a random pattern for the kernel.
+fn profile_for(kernel: &Kernel, nnz: usize, seed: u64) -> SparsityProfile {
     let mut rng = StdRng::seed_from_u64(seed);
     let sparse_dims = kernel.ref_dims(kernel.sparse_ref());
     let coo = random_coo(&sparse_dims, nnz, &mut rng).unwrap();
     let order: Vec<usize> = (0..coo.order()).collect();
-    let csf = Csf::from_coo(&coo, &order).unwrap();
-    let mut c = Contraction::from_kernel(kernel.clone()).with_sparse_input(csf);
-    for (slot, r) in kernel.inputs.iter().enumerate() {
-        if slot == kernel.sparse_input {
-            continue;
-        }
-        c = c.with_factor(&r.name, random_dense(&kernel.ref_dims(r), &mut rng));
-    }
-    c
+    SparsityProfile::from_coo(&coo, &order).unwrap()
 }
 
 fn main() {
@@ -51,25 +44,23 @@ fn main() {
         ),
     ];
 
-    let mut h = Harness::new("Contraction::plan (stdkernels suite)");
+    let mut h = Harness::new("Contraction::plan (stdkernels suite, symbolic)");
     for (kname, kernel) in &suite {
-        let c = bound(
-            kernel,
-            2000.min(
-                kernel
-                    .ref_dims(kernel.sparse_ref())
-                    .iter()
-                    .product::<usize>()
-                    / 4,
-            ),
-            42,
+        let nnz = 2000.min(
+            kernel
+                .ref_dims(kernel.sparse_ref())
+                .iter()
+                .product::<usize>()
+                / 4,
         );
+        let shapes = Shapes::new().with_profile(profile_for(kernel, nnz, 42));
         for (mname, model) in &models {
-            let c = c.clone();
+            let kernel = kernel.clone();
+            let shapes = shapes.clone();
+            let opts = PlanOptions::with_cost_model(*model);
             h.bench_function(&format!("{kname}/{mname}"), move || {
-                let plan = c
-                    .clone()
-                    .plan(PlanOptions::with_cost_model(*model))
+                let plan = Contraction::from_kernel(kernel.clone())
+                    .plan(&shapes, &opts)
                     .expect("plan succeeds");
                 black_box(plan.flops);
             });

@@ -18,12 +18,21 @@
 //!   buffer is zeroed exactly at its split vertex — once per iteration
 //!   of the deepest loop shared by producer and consumer — and indexed
 //!   by the stored (non-ancestor) coordinates only.
+//!
+//! Execution is split into a *preallocation* stage and a *run* stage so
+//! iterative algorithms (CP-ALS, HOOI) can execute the same nest many
+//! times without touching the heap: a [`Workspace`] holds every
+//! intermediate buffer plus the interpreter's cursor state, sized purely
+//! from the plan (no operand data), and [`execute_forest_into`]
+//! accumulates into a caller-owned output through [`OutputMut`]. The
+//! one-shot [`execute_forest`] remains as a convenience wrapper that
+//! allocates a fresh workspace and output per call.
 
 use crate::blas;
 use spttn_core::{Result, SpttnError};
 use spttn_ir::{
-    buffers_for_forest, ContractionPath, IndexId, Kernel, LoopForest, LoopNode, LoopVertex,
-    Operand, VertexKind,
+    buffers_for_forest, BufferSpec, ContractionPath, IndexId, Kernel, LoopForest, LoopNode,
+    LoopVertex, Operand, VertexKind,
 };
 use spttn_tensor::{CooTensor, Csf, DenseTensor};
 
@@ -98,18 +107,38 @@ impl ContractionOutput {
     }
 }
 
-/// Validate bound operands against a kernel: factor count, per-level
-/// CSF dimensions (the CSF must be stored in the kernel's written index
-/// order for the sparse tensor), and dense factor shapes. Shared by the
-/// executor and the `spttn` facade so the two cannot drift.
-pub fn validate_operands(kernel: &Kernel, csf: &Csf, dense_factors: &[&DenseTensor]) -> Result<()> {
-    let n_dense = kernel.inputs.len() - 1;
-    if dense_factors.len() != n_dense {
-        return Err(SpttnError::Execution(format!(
-            "expected {n_dense} dense factors, got {}",
-            dense_factors.len()
-        )));
+/// Slot-ordered factor access: the executor hands an owned slice, the
+/// one-shot wrapper hands borrowed references — neither path copies
+/// tensor data. The sparse slot's entry is never read.
+#[derive(Debug, Clone, Copy)]
+enum Slots<'a> {
+    /// One owned tensor per kernel input slot.
+    Owned(&'a [DenseTensor]),
+    /// One borrowed tensor per kernel input slot.
+    Refs(&'a [&'a DenseTensor]),
+}
+
+impl<'a> Slots<'a> {
+    #[inline]
+    fn get(self, slot: usize) -> &'a DenseTensor {
+        match self {
+            Slots::Owned(s) => &s[slot],
+            Slots::Refs(r) => r[slot],
+        }
     }
+
+    #[inline]
+    fn len(self) -> usize {
+        match self {
+            Slots::Owned(s) => s.len(),
+            Slots::Refs(r) => r.len(),
+        }
+    }
+}
+
+/// Check that the CSF's per-level dimensions match the kernel's written
+/// index order. Shared by every operand validator so they cannot drift.
+fn validate_csf_dims(kernel: &Kernel, csf: &Csf) -> Result<()> {
     let sparse_ref = kernel.sparse_ref();
     if csf.order() != sparse_ref.indices.len() {
         return Err(SpttnError::Shape(format!(
@@ -128,31 +157,293 @@ pub fn validate_operands(kernel: &Kernel, csf: &Csf, dense_factors: &[&DenseTens
             )));
         }
     }
+    Ok(())
+}
+
+/// Check one dense factor against its kernel reference, allocation-free
+/// on the success path.
+fn validate_factor(kernel: &Kernel, r: &spttn_ir::TensorRef, t: &DenseTensor) -> Result<()> {
+    if t.order() != r.indices.len()
+        || r.indices
+            .iter()
+            .enumerate()
+            .any(|(pos, &i)| t.dims()[pos] != kernel.dim(i))
+    {
+        return Err(SpttnError::Shape(format!(
+            "factor '{}' has dims {:?}, kernel expects {:?}",
+            r.name,
+            t.dims(),
+            kernel.ref_dims(r)
+        )));
+    }
+    Ok(())
+}
+
+/// Validate bound operands against a kernel: factor count, per-level
+/// CSF dimensions (the CSF must be stored in the kernel's written index
+/// order for the sparse tensor), and dense factor shapes. Shared by the
+/// executor and the `spttn` facade so the two cannot drift.
+pub fn validate_operands(kernel: &Kernel, csf: &Csf, dense_factors: &[&DenseTensor]) -> Result<()> {
+    let n_dense = kernel.inputs.len() - 1;
+    if dense_factors.len() != n_dense {
+        return Err(SpttnError::Execution(format!(
+            "expected {n_dense} dense factors, got {}",
+            dense_factors.len()
+        )));
+    }
+    validate_csf_dims(kernel, csf)?;
     let mut next = 0usize;
     for (slot, r) in kernel.inputs.iter().enumerate() {
         if slot == kernel.sparse_input {
             continue;
         }
-        let t = dense_factors[next];
+        validate_factor(kernel, r, dense_factors[next])?;
         next += 1;
-        let want = kernel.ref_dims(r);
-        if t.dims() != want.as_slice() {
-            return Err(SpttnError::Shape(format!(
-                "factor '{}' has dims {:?}, kernel expects {:?}",
-                r.name,
-                t.dims(),
-                want
-            )));
-        }
     }
     Ok(())
 }
 
-/// Execute a fused loop forest.
+fn validate_slots(kernel: &Kernel, csf: &Csf, slots: Slots<'_>) -> Result<()> {
+    if slots.len() != kernel.inputs.len() {
+        return Err(SpttnError::Execution(format!(
+            "expected {} slot-ordered factors, got {}",
+            kernel.inputs.len(),
+            slots.len()
+        )));
+    }
+    validate_csf_dims(kernel, csf)?;
+    for (slot, r) in kernel.inputs.iter().enumerate() {
+        if slot == kernel.sparse_input {
+            continue;
+        }
+        validate_factor(kernel, r, slots.get(slot))?;
+    }
+    Ok(())
+}
+
+/// Validate *slot-ordered* operands against a kernel: one tensor per
+/// kernel input slot (the sparse slot holds an ignored placeholder).
+/// Allocation-free on the success path so it can run per execution.
+pub fn validate_slotted_operands(
+    kernel: &Kernel,
+    csf: &Csf,
+    factors_by_slot: &[DenseTensor],
+) -> Result<()> {
+    validate_slots(kernel, csf, Slots::Owned(factors_by_slot))
+}
+
+/// Preallocated mutable state for repeated executions of one plan.
+///
+/// Holds every Eq.-5 intermediate buffer plus the interpreter's cursor
+/// arrays, sized purely from `(kernel, path, forest)` — no operand data
+/// is needed, so a workspace can be built before any tensor is bound.
+/// After construction, [`execute_forest_into`] performs no heap
+/// allocation.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// Per term: the Eq.-5 buffer (scalar placeholder for the final term).
+    buffers: Vec<DenseTensor>,
+    /// Stored index ids of each term's buffer (producer loop order).
+    buffer_inds: Vec<Vec<IndexId>>,
+    /// Current coordinate per kernel index.
+    coords: Vec<usize>,
+    /// Current CSF node per tree level (set by enclosing sparse loops).
+    nodes: Vec<Option<usize>>,
+    /// Dummy dense target used when the kernel's output is sparse.
+    scratch_dense: DenseTensor,
+    /// Fingerprint of the forest the buffers were sized for, so
+    /// [`execute_forest_into`] can reject a workspace built for a
+    /// different nest (whose buffer shapes would silently disagree).
+    forest_stamp: u64,
+}
+
+/// Structural fingerprint of a loop forest (allocation-free).
+fn forest_stamp(forest: &LoopForest) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    forest.hash(&mut h);
+    h.finish()
+}
+
+impl Workspace {
+    /// Build a workspace for a planned nest, inferring buffer specs via
+    /// [`buffers_for_forest`].
+    pub fn new(kernel: &Kernel, path: &ContractionPath, forest: &LoopForest) -> Self {
+        Self::from_specs(
+            kernel,
+            path,
+            forest,
+            &buffers_for_forest(kernel, path, forest),
+        )
+    }
+
+    /// Build a workspace from precomputed buffer specs (e.g. the specs a
+    /// symbolic plan carries); `forest` must be the nest the specs were
+    /// computed for.
+    pub fn from_specs(
+        kernel: &Kernel,
+        path: &ContractionPath,
+        forest: &LoopForest,
+        specs: &[BufferSpec],
+    ) -> Self {
+        let mut buffers: Vec<DenseTensor> =
+            (0..path.len()).map(|_| DenseTensor::zeros(&[])).collect();
+        let mut buffer_inds: Vec<Vec<IndexId>> = vec![Vec::new(); path.len()];
+        for spec in specs {
+            buffers[spec.producer] = DenseTensor::zeros(&spec.dims);
+            buffer_inds[spec.producer] = spec.inds.clone();
+        }
+        Workspace {
+            buffers,
+            buffer_inds,
+            coords: vec![0; kernel.num_indices()],
+            nodes: vec![None; kernel.csf_index_order().len()],
+            scratch_dense: DenseTensor::zeros(&[]),
+            forest_stamp: forest_stamp(forest),
+        }
+    }
+
+    /// The intermediate buffers, one per path term (final term holds a
+    /// scalar placeholder). Exposed so callers can assert allocation
+    /// stability across executions.
+    pub fn buffers(&self) -> &[DenseTensor] {
+        &self.buffers
+    }
+
+    /// Total preallocated intermediate elements.
+    pub fn total_elems(&self) -> usize {
+        self.buffers.iter().map(DenseTensor::len).sum()
+    }
+}
+
+/// A caller-owned output target for [`execute_forest_into`].
+#[derive(Debug)]
+pub enum OutputMut<'a> {
+    /// Dense output tensor, shaped like the kernel output.
+    Dense(&'a mut DenseTensor),
+    /// Values of a pattern-sharing sparse output, parallel with the
+    /// CSF's leaves.
+    Sparse(&'a mut [f64]),
+}
+
+/// Execute a fused loop forest into a caller-owned output, reusing a
+/// preallocated [`Workspace`].
+///
+/// `factors_by_slot` holds one tensor per kernel input slot; the entry
+/// at `kernel.sparse_input` is never read (pass any placeholder).
+/// Contributions are **accumulated** into `out` — the caller zeroes it
+/// first for plain `=` semantics, or leaves existing values in place for
+/// `+=` accumulation. After the workspace exists, this function performs
+/// zero heap allocations on the success path.
+pub fn execute_forest_into(
+    kernel: &Kernel,
+    path: &ContractionPath,
+    forest: &LoopForest,
+    csf: &Csf,
+    factors_by_slot: &[DenseTensor],
+    ws: &mut Workspace,
+    out: OutputMut<'_>,
+) -> Result<()> {
+    execute_slots(
+        kernel,
+        path,
+        forest,
+        csf,
+        Slots::Owned(factors_by_slot),
+        ws,
+        out,
+    )
+}
+
+fn execute_slots(
+    kernel: &Kernel,
+    path: &ContractionPath,
+    forest: &LoopForest,
+    csf: &Csf,
+    slots: Slots<'_>,
+    ws: &mut Workspace,
+    out: OutputMut<'_>,
+) -> Result<()> {
+    validate_slots(kernel, csf, slots)?;
+    match &out {
+        OutputMut::Dense(d) => {
+            if kernel.output_sparse {
+                return Err(SpttnError::Execution(
+                    "kernel output shares the sparse pattern; pass OutputMut::Sparse".into(),
+                ));
+            }
+            let oinds = &kernel.output.indices;
+            if d.order() != oinds.len()
+                || oinds
+                    .iter()
+                    .enumerate()
+                    .any(|(pos, &i)| d.dims()[pos] != kernel.dim(i))
+            {
+                return Err(SpttnError::Shape(format!(
+                    "output has dims {:?}, kernel expects {:?}",
+                    d.dims(),
+                    kernel.ref_dims(&kernel.output)
+                )));
+            }
+        }
+        OutputMut::Sparse(v) => {
+            if !kernel.output_sparse {
+                return Err(SpttnError::Execution(
+                    "kernel output is dense; pass OutputMut::Dense".into(),
+                ));
+            }
+            if v.len() != csf.nnz() {
+                return Err(SpttnError::Shape(format!(
+                    "sparse output has {} values, CSF has {} nonzeros",
+                    v.len(),
+                    csf.nnz()
+                )));
+            }
+        }
+    }
+    if ws.buffers.len() != path.len()
+        || ws.coords.len() != kernel.num_indices()
+        || ws.forest_stamp != forest_stamp(forest)
+    {
+        return Err(SpttnError::Execution(
+            "workspace does not match the plan (build it from the same kernel/path/forest)".into(),
+        ));
+    }
+    let Workspace {
+        buffers,
+        buffer_inds,
+        coords,
+        nodes,
+        scratch_dense,
+        ..
+    } = ws;
+    let (out_dense, out_sparse): (&mut DenseTensor, &mut [f64]) = match out {
+        OutputMut::Dense(d) => (d, &mut []),
+        OutputMut::Sparse(v) => (scratch_dense, v),
+    };
+    let mut exec = Exec {
+        kernel,
+        path,
+        forest,
+        csf,
+        factors: slots,
+        buffers,
+        buffer_inds,
+        coords,
+        nodes,
+        out_dense,
+        out_sparse,
+    };
+    exec.run()
+}
+
+/// Execute a fused loop forest, allocating a fresh workspace and output.
 ///
 /// `dense_factors` holds one tensor per *non-sparse* kernel input, in
 /// input order (the sparse slot is skipped); `csf` is the sparse input,
 /// stored in the mode order the kernel's written index order declares.
+/// This is the one-shot convenience path; reuse-heavy callers should
+/// hold a [`Workspace`] and call [`execute_forest_into`] instead.
 pub fn execute_forest(
     kernel: &Kernel,
     path: &ContractionPath,
@@ -160,8 +451,45 @@ pub fn execute_forest(
     csf: &Csf,
     dense_factors: &[&DenseTensor],
 ) -> Result<ContractionOutput> {
-    let mut exec = Exec::new(kernel, path, forest, csf, dense_factors)?;
-    exec.run()
+    validate_operands(kernel, csf, dense_factors)?;
+    // Slot-ordered *references* — no tensor data is copied.
+    let dummy = DenseTensor::zeros(&[]);
+    let mut refs: Vec<&DenseTensor> = Vec::with_capacity(kernel.inputs.len());
+    let mut next = 0usize;
+    for slot in 0..kernel.inputs.len() {
+        if slot == kernel.sparse_input {
+            refs.push(&dummy);
+        } else {
+            refs.push(dense_factors[next]);
+            next += 1;
+        }
+    }
+    let mut ws = Workspace::new(kernel, path, forest);
+    if kernel.output_sparse {
+        let mut vals = vec![0.0; csf.nnz()];
+        execute_slots(
+            kernel,
+            path,
+            forest,
+            csf,
+            Slots::Refs(&refs),
+            &mut ws,
+            OutputMut::Sparse(&mut vals),
+        )?;
+        Ok(ContractionOutput::Sparse(csf.to_coo().with_vals(vals)))
+    } else {
+        let mut out = DenseTensor::zeros(&kernel.ref_dims(&kernel.output));
+        execute_slots(
+            kernel,
+            path,
+            forest,
+            csf,
+            Slots::Refs(&refs),
+            &mut ws,
+            OutputMut::Dense(&mut out),
+        )?;
+        Ok(ContractionOutput::Dense(out))
+    }
 }
 
 /// Offset of the current coordinates within a tensor addressed by
@@ -217,86 +545,26 @@ struct Exec<'a> {
     path: &'a ContractionPath,
     forest: &'a LoopForest,
     csf: &'a Csf,
-    /// Per kernel-input slot; `None` at the sparse slot.
-    factors: Vec<Option<&'a DenseTensor>>,
+    /// Per kernel-input slot; the sparse slot holds an unread placeholder.
+    factors: Slots<'a>,
     /// Per term; placeholder scalar for the final term.
-    buffers: Vec<DenseTensor>,
+    buffers: &'a mut [DenseTensor],
     /// Stored index ids of each term's buffer (producer loop order).
-    buffer_inds: Vec<Vec<IndexId>>,
+    buffer_inds: &'a [Vec<IndexId>],
     /// Current coordinate per kernel index.
-    coords: Vec<usize>,
+    coords: &'a mut [usize],
     /// Current CSF node per tree level (set by enclosing sparse loops).
-    nodes: Vec<Option<usize>>,
-    out_dense: DenseTensor,
-    out_sparse: Vec<f64>,
+    nodes: &'a mut [Option<usize>],
+    /// Dense output target (workspace scratch when the output is sparse).
+    out_dense: &'a mut DenseTensor,
+    /// Sparse output values (empty when the output is dense).
+    out_sparse: &'a mut [f64],
 }
 
 impl<'a> Exec<'a> {
-    fn new(
-        kernel: &'a Kernel,
-        path: &'a ContractionPath,
-        forest: &'a LoopForest,
-        csf: &'a Csf,
-        dense_factors: &[&'a DenseTensor],
-    ) -> Result<Self> {
-        validate_operands(kernel, csf, dense_factors)?;
-        let mut factors: Vec<Option<&'a DenseTensor>> = vec![None; kernel.inputs.len()];
-        let mut next = 0usize;
-        for (slot, _) in kernel.inputs.iter().enumerate() {
-            if slot == kernel.sparse_input {
-                continue;
-            }
-            factors[slot] = Some(dense_factors[next]);
-            next += 1;
-        }
-
-        let mut buffers: Vec<DenseTensor> =
-            (0..path.len()).map(|_| DenseTensor::zeros(&[])).collect();
-        let mut buffer_inds: Vec<Vec<IndexId>> = vec![Vec::new(); path.len()];
-        for spec in buffers_for_forest(kernel, path, forest) {
-            buffers[spec.producer] = DenseTensor::zeros(&spec.dims);
-            buffer_inds[spec.producer] = spec.inds;
-        }
-
-        let out_dense = if kernel.output_sparse {
-            DenseTensor::zeros(&[])
-        } else {
-            DenseTensor::zeros(&kernel.ref_dims(&kernel.output))
-        };
-        let out_sparse = if kernel.output_sparse {
-            vec![0.0; csf.nnz()]
-        } else {
-            Vec::new()
-        };
-
-        Ok(Exec {
-            kernel,
-            path,
-            forest,
-            csf,
-            factors,
-            buffers,
-            buffer_inds,
-            coords: vec![0; kernel.num_indices()],
-            nodes: vec![None; csf.order()],
-            out_dense,
-            out_sparse,
-        })
-    }
-
-    fn run(&mut self) -> Result<ContractionOutput> {
+    fn run(&mut self) -> Result<()> {
         let roots = &self.forest.roots;
-        self.exec_siblings(roots, self.path.len())?;
-        if self.kernel.output_sparse {
-            let coo = self
-                .csf
-                .to_coo()
-                .with_vals(std::mem::take(&mut self.out_sparse));
-            Ok(ContractionOutput::Sparse(coo))
-        } else {
-            let out = std::mem::replace(&mut self.out_dense, DenseTensor::zeros(&[]));
-            Ok(ContractionOutput::Dense(out))
-        }
+        self.exec_siblings(roots, self.path.len())
     }
 
     /// Term range covered by a node.
@@ -410,13 +678,13 @@ impl<'a> Exec<'a> {
                 .resolve_node(self.csf.order() - 1)
                 .map_or(0.0, |n| self.csf.leaf_val(n)),
             Operand::Input(i) => {
-                let f = self.factors[i].expect("dense factor bound");
-                let off = offset_in(&self.kernel.inputs[i].indices, f.strides(), &self.coords);
+                let f = self.factors.get(i);
+                let off = offset_in(&self.kernel.inputs[i].indices, f.strides(), self.coords);
                 f.as_slice()[off]
             }
             Operand::Inter(u) => {
                 let b = &self.buffers[u];
-                let off = offset_in(&self.buffer_inds[u], b.strides(), &self.coords);
+                let off = offset_in(&self.buffer_inds[u], b.strides(), self.coords);
                 b.as_slice()[off]
             }
         }
@@ -436,16 +704,12 @@ impl<'a> Exec<'a> {
                 let off = offset_in(
                     &self.kernel.output.indices,
                     self.out_dense.strides(),
-                    &self.coords,
+                    self.coords,
                 );
                 self.out_dense.as_mut_slice()[off] += v;
             }
         } else {
-            let off = offset_in(
-                &self.buffer_inds[t],
-                self.buffers[t].strides(),
-                &self.coords,
-            );
+            let off = offset_in(&self.buffer_inds[t], self.buffers[t].strides(), self.coords);
             self.buffers[t].as_mut_slice()[off] += v;
         }
     }
@@ -481,7 +745,7 @@ impl<'a> Exec<'a> {
                 return SrcMeta::Const(self.read_operand(op));
             }
             Operand::Input(i) => {
-                let f = self.factors[i].expect("dense factor bound");
+                let f = self.factors.get(i);
                 (
                     BufSel::Factor(i),
                     &self.kernel.inputs[i].indices,
@@ -593,8 +857,8 @@ impl<'a> Exec<'a> {
                 {
                     let v = {
                         let (reads, _) = self.buffers.split_at(t);
-                        let x = slice_of(&self.factors, reads, lb, lbase);
-                        let y = slice_of(&self.factors, reads, rb, rbase);
+                        let x = slice_of(self.factors, reads, lb, lbase);
+                        let y = slice_of(self.factors, reads, rb, rbase);
                         blas::dot(n, x, ls, y, rs)
                     };
                     stats::bump(&stats::DOT);
@@ -610,11 +874,9 @@ impl<'a> Exec<'a> {
                 s1: ts,
                 ..
             } => {
+                let factors = self.factors;
                 let Exec {
-                    buffers,
-                    factors,
-                    out_dense,
-                    ..
+                    buffers, out_dense, ..
                 } = self;
                 let (reads, tail) = buffers.split_at_mut(t);
                 let tgt: &mut [f64] = if out {
@@ -701,11 +963,9 @@ impl<'a> Exec<'a> {
             SrcMeta::Const(_) => unreachable!(),
         };
 
+        let factors = self.factors;
         let Exec {
-            buffers,
-            factors,
-            out_dense,
-            ..
+            buffers, out_dense, ..
         } = self;
         let (reads, tail) = buffers.split_at_mut(t);
         let tgt: &mut [f64] = if out {
@@ -774,13 +1034,13 @@ impl<'a> Exec<'a> {
 
 /// Borrow the backing slice of a source, offset by `base`.
 fn slice_of<'b>(
-    factors: &'b [Option<&'b DenseTensor>],
+    factors: Slots<'b>,
     read_buffers: &'b [DenseTensor],
     sel: BufSel,
     base: usize,
 ) -> &'b [f64] {
     match sel {
-        BufSel::Factor(i) => &factors[i].expect("dense factor bound").as_slice()[base..],
+        BufSel::Factor(i) => &factors.get(i).as_slice()[base..],
         BufSel::Inter(u) => &read_buffers[u].as_slice()[base..],
     }
 }

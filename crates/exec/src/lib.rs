@@ -1,15 +1,28 @@
 //! # spttn-exec
 //!
 //! Execution subsystem for SpTTN loop nests: a loop-forest interpreter
-//! ([`execute_forest`]) that walks a planned [`spttn_ir::LoopForest`]
-//! over a CSF sparse tensor and dense factors, allocating the Eq.-5
-//! intermediate buffers and dispatching innermost dense loops to the
-//! BLAS-style microkernels in [`blas`] (paper Sec. 5). A brute-force
-//! dense einsum oracle ([`naive_einsum`]) backs the correctness tests.
+//! that walks a planned [`spttn_ir::LoopForest`] over a CSF sparse
+//! tensor and dense factors, dispatching innermost dense loops to the
+//! BLAS-style microkernels in [`blas`] (paper Sec. 5).
+//!
+//! Two entry points:
+//!
+//! - [`execute_forest_into`]: the reuse path — all Eq.-5 intermediate
+//!   buffers live in a caller-held [`Workspace`] and the result is
+//!   accumulated into a caller-owned output ([`OutputMut`]); zero heap
+//!   allocation per call.
+//! - [`execute_forest`]: one-shot convenience that allocates a fresh
+//!   workspace and output.
+//!
+//! A brute-force dense einsum oracle ([`naive_einsum`]) backs the
+//! correctness tests.
 
 pub mod blas;
 pub mod interp;
 pub mod reference;
 
-pub use interp::{execute_forest, validate_operands, ContractionOutput};
+pub use interp::{
+    execute_forest, execute_forest_into, validate_operands, validate_slotted_operands,
+    ContractionOutput, OutputMut, Workspace,
+};
 pub use reference::naive_einsum;

@@ -291,3 +291,125 @@ fn order4_ttmc_fig6_matches_oracle() {
     let want = oracle(&k, &coo, &f);
     assert!(got.to_dense().approx_eq(&want, TOL));
 }
+
+/// A reused workspace must produce identical results across executions
+/// (stale intermediate/cursor state fully overwritten), and the
+/// accumulate contract of `execute_forest_into` must hold: contributions
+/// add on top of whatever the caller left in the output.
+#[test]
+fn workspace_reuse_is_deterministic_and_accumulating() {
+    use spttn_exec::{execute_forest_into, OutputMut, Workspace};
+
+    let (k, coo, factors) = ttmc_setup(77);
+    let path = path_from_picks(&k, &[(0, 2), (0, 1)]);
+    let spec = NestSpec {
+        orders: vec![vec![0, 1, 2, 4], vec![0, 1, 4, 3]],
+    };
+    let forest = build_forest(&k, &path, &spec).unwrap();
+    let csf = Csf::from_coo(&coo, &[0, 1, 2]).unwrap();
+
+    let mut slots: Vec<DenseTensor> = vec![DenseTensor::zeros(&[])];
+    slots.extend(factors.iter().cloned());
+    let mut ws = Workspace::new(&k, &path, &forest);
+    let want = oracle(&k, &coo, &factors);
+
+    let mut out = DenseTensor::zeros(&k.ref_dims(&k.output));
+    execute_forest_into(
+        &k,
+        &path,
+        &forest,
+        &csf,
+        &slots,
+        &mut ws,
+        OutputMut::Dense(&mut out),
+    )
+    .unwrap();
+    assert!(out.approx_eq(&want, TOL), "first execution diverged");
+
+    // Second run into the same (non-zeroed) output accumulates: 2×.
+    execute_forest_into(
+        &k,
+        &path,
+        &forest,
+        &csf,
+        &slots,
+        &mut ws,
+        OutputMut::Dense(&mut out),
+    )
+    .unwrap();
+    let mut twice = want.clone();
+    for (d, s) in twice.as_mut_slice().iter_mut().zip(want.as_slice()) {
+        *d += s;
+    }
+    assert!(out.approx_eq(&twice, TOL), "accumulation diverged");
+
+    // Zeroed output, reused workspace: back to the oracle exactly.
+    out.fill_zero();
+    execute_forest_into(
+        &k,
+        &path,
+        &forest,
+        &csf,
+        &slots,
+        &mut ws,
+        OutputMut::Dense(&mut out),
+    )
+    .unwrap();
+    assert!(out.approx_eq(&want, TOL), "reused workspace diverged");
+
+    // Mismatched output flavor is rejected.
+    let mut vals = vec![0.0; csf.nnz()];
+    let e = execute_forest_into(
+        &k,
+        &path,
+        &forest,
+        &csf,
+        &slots,
+        &mut ws,
+        OutputMut::Sparse(&mut vals),
+    );
+    assert!(e.is_err(), "dense kernel accepted a sparse output");
+}
+
+/// A workspace built for one forest must be rejected when driven with a
+/// different forest of the same kernel/path — its buffer shapes would
+/// silently disagree.
+#[test]
+fn workspace_from_other_forest_is_rejected() {
+    use spttn_exec::{execute_forest_into, OutputMut, Workspace};
+
+    let (k, coo, factors) = ttmc_setup(78);
+    let path = path_from_picks(&k, &[(0, 2), (0, 1)]);
+    let fused = build_forest(
+        &k,
+        &path,
+        &NestSpec {
+            orders: vec![vec![0, 1, 2, 4], vec![0, 1, 4, 3]],
+        },
+    )
+    .unwrap();
+    let unfused = build_forest(
+        &k,
+        &path,
+        &NestSpec {
+            orders: vec![vec![0, 1, 2, 4], vec![4, 0, 1, 3]],
+        },
+    )
+    .unwrap();
+    let csf = Csf::from_coo(&coo, &[0, 1, 2]).unwrap();
+    let mut slots: Vec<DenseTensor> = vec![DenseTensor::zeros(&[])];
+    slots.extend(factors.iter().cloned());
+    let mut out = DenseTensor::zeros(&k.ref_dims(&k.output));
+
+    let mut ws = Workspace::new(&k, &path, &unfused);
+    let e = execute_forest_into(
+        &k,
+        &path,
+        &fused,
+        &csf,
+        &slots,
+        &mut ws,
+        OutputMut::Dense(&mut out),
+    );
+    assert!(e.is_err(), "mismatched workspace was accepted");
+}

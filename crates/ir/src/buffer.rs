@@ -14,7 +14,11 @@ use crate::kernel::Kernel;
 use crate::path::ContractionPath;
 
 /// A dense intermediate buffer of a fused loop nest.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Sized purely from the kernel's index dimensions — no operand data is
+/// consulted — so buffer specs can be computed for a symbolic plan and
+/// turned into allocations only when data is bound.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BufferSpec {
     /// Term producing the buffer.
     pub producer: usize,

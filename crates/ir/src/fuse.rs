@@ -21,7 +21,7 @@ use crate::order::{order_is_valid, NestSpec};
 use crate::path::ContractionPath;
 
 /// How a loop vertex iterates its index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VertexKind {
     /// Iterate the children of the current CSF node at this level.
     Sparse {
@@ -67,7 +67,7 @@ impl std::fmt::Display for FuseError {
 impl std::error::Error for FuseError {}
 
 /// A node of the fused forest.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum LoopNode {
     /// A loop vertex.
     Loop(LoopVertex),
@@ -76,7 +76,7 @@ pub enum LoopNode {
 }
 
 /// A loop vertex of the fused forest.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LoopVertex {
     /// Index iterated by this loop.
     pub index: IndexId,
@@ -91,7 +91,7 @@ pub struct LoopVertex {
 }
 
 /// A fully-fused loop-nest forest for one (path, spec) pair.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LoopForest {
     /// Top-level nodes in execution order.
     pub roots: Vec<LoopNode>,

@@ -98,6 +98,15 @@ impl CooTensor {
         self.vals[e]
     }
 
+    /// Flat coordinate storage (`order` entries per nonzero, entry
+    /// order). Two tensors share a sparsity pattern exactly when their
+    /// dims and flat coordinates are equal — a cheap memcmp used to
+    /// validate pattern-sharing outputs.
+    #[inline]
+    pub fn coords(&self) -> &[usize] {
+        &self.coords
+    }
+
     /// Values slice, parallel with entry order.
     #[inline]
     pub fn vals(&self) -> &[f64] {

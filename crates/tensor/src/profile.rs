@@ -135,6 +135,18 @@ impl SparsityProfile {
         self.prefix_nnz[k]
     }
 
+    /// A hashable fingerprint of this profile: dimensions, mode order,
+    /// and per-level prefix counts. Two profiles with equal signatures
+    /// drive the planner to identical decisions, which is what makes
+    /// them honest cache-key material for plan caches.
+    pub fn signature(&self) -> (Vec<usize>, Vec<usize>, Vec<u64>) {
+        (
+            self.dims.clone(),
+            self.mode_order.clone(),
+            self.prefix_nnz.clone(),
+        )
+    }
+
     /// Length of the longest CSF prefix whose modes are all contained in
     /// the set described by `contains` (original mode numbering).
     ///

@@ -1,0 +1,168 @@
+//! Keyed storage of symbolic plans.
+//!
+//! The Sec. 5 planner (path enumeration + Algorithm-1 DP) is the
+//! expensive stage of the pipeline, and its output depends only on the
+//! kernel structure, the index dimensions, the sparsity profile, and
+//! the cost model — never on tensor values. [`PlanKey`] captures
+//! exactly those inputs, so a [`PlanCache`] can hand back a shared
+//! [`Plan`] for every repeated build (CP-ALS sweeps, request traffic
+//! for a hot kernel) instead of re-running the DP.
+//!
+//! Keys are honest: two contractions get the same key **iff** the
+//! planner would make identical decisions for both. The one lossy field
+//! is `tier_slack: f64` on [`PlanOptions`], which is quantized to parts
+//! per million so the key stays `Eq + Hash` without comparing raw
+//! floats.
+
+use crate::contraction::{Contraction, CostModel, Plan, PlanOptions, Shapes};
+use crate::Result;
+use spttn_ir::Kernel;
+use spttn_tensor::SparsityProfile;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Everything the planner's decisions depend on, in hashable form.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Canonical einsum rendering of the kernel (names + index order).
+    kernel: String,
+    /// Dimension of every kernel index, in index-id order.
+    dims: Vec<usize>,
+    /// Which input slot holds the sparse tensor.
+    sparse_input: usize,
+    /// Whether the output shares the sparse pattern.
+    output_sparse: bool,
+    /// Sparsity-profile summary: dims, mode order, per-level prefix nnz.
+    profile: (Vec<usize>, Vec<usize>, Vec<u64>),
+    /// Cost model (integral parameters only — derives `Hash` directly).
+    cost_model: CostModel,
+    /// Search limits.
+    max_paths_per_tier: usize,
+    max_tiers: usize,
+    /// `tier_slack` quantized to parts per million (after the planner's
+    /// own clamp to ≥ 1.0), keeping the raw `f64` out of the key.
+    tier_slack_ppm: u64,
+    /// `=` vs `+=` execution semantics.
+    accumulate: bool,
+}
+
+impl PlanKey {
+    /// Build the key for fully-resolved planning inputs.
+    pub fn new(
+        kernel: &Kernel,
+        profile: &SparsityProfile,
+        accumulate: bool,
+        opts: &PlanOptions,
+    ) -> Self {
+        PlanKey {
+            kernel: kernel.to_einsum(),
+            dims: (0..kernel.num_indices()).map(|i| kernel.dim(i)).collect(),
+            sparse_input: kernel.sparse_input,
+            output_sparse: kernel.output_sparse,
+            profile: profile.signature(),
+            cost_model: opts.cost_model,
+            max_paths_per_tier: opts.max_paths_per_tier,
+            max_tiers: opts.max_tiers,
+            tier_slack_ppm: (opts.tier_slack.max(1.0) * 1e6).round() as u64,
+            accumulate,
+        }
+    }
+}
+
+/// A thread-safe, keyed store of symbolic plans.
+///
+/// ```
+/// use spttn::{Contraction, PlanCache, PlanOptions, Shapes};
+///
+/// let cache = PlanCache::new();
+/// let shapes = Shapes::new()
+///     .with_dims(&[("i", 30), ("j", 20), ("k", 25), ("r", 8)])
+///     .with_nnz(200);
+/// let opts = PlanOptions::default();
+/// let expr = "T[i,j,k]*A[j,r]*B[k,r]->O[i,r]";
+///
+/// let p1 = cache.plan(Contraction::parse(expr).unwrap(), &shapes, &opts).unwrap();
+/// let p2 = cache.plan(Contraction::parse(expr).unwrap(), &shapes, &opts).unwrap();
+/// assert!(std::sync::Arc::ptr_eq(&p1, &p2)); // second build hit the cache
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, Arc<Plan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolve a contraction against `shapes` and return its plan,
+    /// running the Sec. 5 DP only when no plan with the same [`PlanKey`]
+    /// is stored yet.
+    pub fn plan(
+        &self,
+        contraction: Contraction,
+        shapes: &Shapes,
+        opts: &PlanOptions,
+    ) -> Result<Arc<Plan>> {
+        let (kernel, accumulate) = contraction.resolve_symbolic(shapes)?;
+        let profile = shapes.resolve_profile(&kernel)?;
+        self.plan_from_parts(kernel, profile, accumulate, opts)
+    }
+
+    /// Get-or-plan on fully-resolved parts. The DP runs outside the
+    /// lock; when two threads race on the same key, the first insert
+    /// wins and both get the same `Arc`.
+    pub(crate) fn plan_from_parts(
+        &self,
+        kernel: Kernel,
+        profile: SparsityProfile,
+        accumulate: bool,
+        opts: &PlanOptions,
+    ) -> Result<Arc<Plan>> {
+        let key = PlanKey::new(&kernel, &profile, accumulate, opts);
+        if let Some(plan) = self.plans.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(plan.clone());
+        }
+        let plan = Arc::new(Plan::build(kernel, profile, accumulate, opts)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let stored = self
+            .plans
+            .lock()
+            .expect("cache lock")
+            .entry(key)
+            .or_insert(plan)
+            .clone();
+        Ok(stored)
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("cache lock").len()
+    }
+
+    /// True when no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached plan (counters are kept).
+    pub fn clear(&self) {
+        self.plans.lock().expect("cache lock").clear();
+    }
+
+    /// Lookups answered from the cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to run the planner.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}

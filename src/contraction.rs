@@ -1,29 +1,42 @@
-//! The `Contraction` facade: parse → bind → plan → execute.
+//! The `Contraction` facade: parse → plan → bind → execute.
 //!
-//! One front door for the whole SpTTN pipeline. An einsum-style
-//! expression is parsed into its tensor structure; operands are bound
-//! (one CSF sparse input, dense factors by name); dimensions are
-//! inferred from the bound tensors; [`Contraction::plan`] runs the
-//! Sec. 5 planner under a selectable tree-separable cost model; and
-//! [`Plan::execute`] interprets the fused loop forest, returning the
-//! output tensor.
+//! One front door for the whole SpTTN pipeline, split into two stages so
+//! iterative algorithms can plan once and execute many times:
+//!
+//! 1. **Symbolic planning** — [`Contraction::parse`] reads an
+//!    einsum-style expression (structure only), and [`Contraction::plan`]
+//!    runs the Sec. 5 planner against a data-independent [`Shapes`]
+//!    description (index dimensions plus a sparsity profile or modeled
+//!    nnz). The resulting [`Plan`] holds only the kernel, contraction
+//!    path, loop orders, fused forest, and buffer specs — **no tensors**.
+//! 2. **Binding and execution** — [`Plan::bind`] attaches a CSF sparse
+//!    input and named dense factors, producing an
+//!    [`Executor`] whose preallocated workspace makes
+//!    repeated execution allocation-free.
+//!
+//! The one-shot convenience path survives as [`Contraction::compile`]:
+//! bind operands with [`Contraction::with_sparse_input`] /
+//! [`Contraction::with_factor`], and dimensions plus the exact sparsity
+//! profile are inferred from the bound tensors before planning.
 //!
 //! Two expression syntaxes are accepted:
 //!
-//! - paper style: `"A(i,a) = T(i,j,k) * B(j,a) * C(k,a)"`
+//! - paper style: `"A(i,a) = T(i,j,k) * B(j,a) * C(k,a)"` (use `+=`
+//!   instead of `=` to accumulate into the bound output on
+//!   `execute_into`)
 //! - arrow style: `"T[i,j,k]*B[j,a]*C[k,a]->A[i,a]"`
 //!
 //! In both, the **first right-hand-side tensor is the sparse input**,
 //! and its written index order must match the CSF storage order of the
 //! bound tensor. When the output's index set equals the sparse input's,
-//! the output shares the sparse pattern (TTTP-like) and
-//! [`Plan::execute`] returns [`ContractionOutput::Sparse`].
+//! the output shares the sparse pattern (TTTP-like) and execution
+//! returns [`ContractionOutput::Sparse`](crate::ContractionOutput).
 
+use crate::executor::Executor;
 use crate::{Result, SpttnError};
 use spttn_cost::{
     plan as cost_plan, BlasAware, CacheMiss, MaxBufferDim, MaxBufferSize, PlannedNest, TreeCost,
 };
-use spttn_exec::{execute_forest, ContractionOutput};
 use spttn_ir::{
     buffers_for_forest, build_forest, BufferSpec, ContractionPath, Kernel, KernelBuilder,
     KernelError, LoopForest, NestSpec,
@@ -32,7 +45,10 @@ use spttn_tensor::{Csf, DenseTensor, SparsityProfile};
 use std::collections::HashMap;
 
 /// Cost model driving the planner (paper Defs. 4.5, 4.6 and Sec. 5).
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// All variants carry only integral parameters, so the model derives
+/// `Eq`/`Hash` and can appear verbatim in [`crate::PlanKey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CostModel {
     /// Minimize the maximum intermediate-buffer dimensionality (Def. 4.5).
     MaxBufferDim,
@@ -95,6 +111,100 @@ impl PlanOptions {
     }
 }
 
+/// Data-independent operand description for symbolic planning: one
+/// dimension per index name, plus sparsity information for the sparse
+/// input — either an exact [`SparsityProfile`] or a modeled uniform
+/// nonzero count.
+///
+/// ```
+/// use spttn::Shapes;
+/// let shapes = Shapes::new()
+///     .with_dims(&[("i", 30), ("j", 20), ("k", 25), ("r", 8)])
+///     .with_nnz(200);
+/// assert_eq!(shapes.dim("j"), Some(20));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Shapes {
+    dims: HashMap<String, usize>,
+    nnz: Option<u64>,
+    profile: Option<SparsityProfile>,
+}
+
+impl Shapes {
+    /// Empty description; add dimensions and sparsity with the builder
+    /// methods.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind one index name to a dimension.
+    pub fn with_dim(mut self, name: &str, dim: usize) -> Self {
+        self.dims.insert(name.to_string(), dim);
+        self
+    }
+
+    /// Bind several index dimensions at once.
+    pub fn with_dims(mut self, dims: &[(&str, usize)]) -> Self {
+        for &(name, dim) in dims {
+            self.dims.insert(name.to_string(), dim);
+        }
+        self
+    }
+
+    /// Model the sparse input as a uniformly-random pattern with `nnz`
+    /// nonzeros (see [`SparsityProfile::uniform`]).
+    pub fn with_nnz(mut self, nnz: u64) -> Self {
+        self.nnz = Some(nnz);
+        self
+    }
+
+    /// Use exact per-level fiber counts for the sparse input. Takes
+    /// precedence over [`Shapes::with_nnz`].
+    pub fn with_profile(mut self, profile: SparsityProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// The dimension bound to an index name, if any.
+    pub fn dim(&self, name: &str) -> Option<usize> {
+        self.dims.get(name).copied()
+    }
+
+    /// Resolve the sparsity profile the planner runs on, validated
+    /// against the kernel's sparse-input dimensions.
+    pub(crate) fn resolve_profile(&self, kernel: &Kernel) -> Result<SparsityProfile> {
+        let levels = kernel.csf_index_order().len();
+        if let Some(p) = &self.profile {
+            if p.order() != levels {
+                return Err(SpttnError::Shape(format!(
+                    "sparsity profile has {} modes but the sparse input has {levels}",
+                    p.order()
+                )));
+            }
+            for l in 0..levels {
+                let want = kernel.dim(kernel.index_at_level(l));
+                let got = p.dims()[p.mode_order()[l]];
+                if want != got {
+                    return Err(SpttnError::Shape(format!(
+                        "sparsity profile level {l} has dimension {got}, kernel expects {want}"
+                    )));
+                }
+            }
+            return Ok(p.clone());
+        }
+        if let Some(nnz) = self.nnz {
+            let sdims = kernel.ref_dims(kernel.sparse_ref());
+            let order: Vec<usize> = (0..sdims.len()).collect();
+            return SparsityProfile::uniform(&sdims, &order, nnz).map_err(SpttnError::from);
+        }
+        Err(SpttnError::Planning(
+            "no sparsity information for the sparse input; call Shapes::with_nnz \
+             (uniform model) or Shapes::with_profile (exact counts)"
+                .into(),
+        ))
+    }
+}
+
 /// One tensor reference parsed from the expression.
 #[derive(Debug, Clone)]
 struct RawRef {
@@ -102,35 +212,40 @@ struct RawRef {
     indices: Vec<String>,
 }
 
-/// A contraction being assembled: parsed structure plus bound operands.
+/// A contraction being assembled: parsed structure, plus operands when
+/// the one-shot [`Contraction::compile`] path is used.
 #[derive(Debug, Clone, Default)]
 pub struct Contraction {
     output: Option<RawRef>,
     inputs: Vec<RawRef>,
     /// Pre-built kernel (bypasses parsing and dimension inference).
     kernel: Option<Kernel>,
+    /// `+=` expression: execution accumulates into the bound output.
+    accumulate: bool,
     sparse: Option<Csf>,
     factors: HashMap<String, DenseTensor>,
 }
 
 impl Contraction {
     /// Parse an einsum-style SpTTN expression (structure only;
-    /// dimensions are inferred from the tensors bound later).
+    /// dimensions are supplied at [`Contraction::plan`] time or inferred
+    /// from bound tensors by [`Contraction::compile`]).
     pub fn parse(expr: &str) -> Result<Self> {
-        let (output, inputs) = parse_expression(expr)?;
+        let (output, inputs, accumulate) = parse_expression(expr)?;
         if inputs.is_empty() {
             return Err(KernelError::NoInputs.into());
         }
         Ok(Contraction {
             output: Some(output),
             inputs,
+            accumulate,
             ..Default::default()
         })
     }
 
     /// Start from an existing [`Kernel`] (e.g. one of
-    /// [`spttn_ir::stdkernels`]); bound tensors are validated against
-    /// the kernel's declared dimensions.
+    /// [`spttn_ir::stdkernels`]); the kernel's declared dimensions are
+    /// used directly, and bound tensors are validated against them.
     pub fn from_kernel(kernel: Kernel) -> Self {
         let as_raw = |r: &spttn_ir::TensorRef| RawRef {
             name: r.name.clone(),
@@ -148,24 +263,92 @@ impl Contraction {
         }
     }
 
-    /// Bind the sparse input (the first right-hand-side tensor). The
-    /// CSF's storage order must match the expression's written index
-    /// order for that tensor.
+    /// Mark the contraction as accumulating into the bound output
+    /// (`+=` semantics for `execute_into`). Parsing a `+=` expression
+    /// sets this automatically.
+    pub fn with_accumulate(mut self, accumulate: bool) -> Self {
+        self.accumulate = accumulate;
+        self
+    }
+
+    /// Bind the sparse input (the first right-hand-side tensor) for the
+    /// one-shot [`Contraction::compile`] path. The CSF's storage order
+    /// must match the expression's written index order for that tensor.
     pub fn with_sparse_input(mut self, csf: Csf) -> Self {
         self.sparse = Some(csf);
         self
     }
 
-    /// Bind a dense factor by tensor name.
+    /// Bind a dense factor by tensor name for the one-shot
+    /// [`Contraction::compile`] path.
     pub fn with_factor(mut self, name: &str, tensor: DenseTensor) -> Self {
         self.factors.insert(name.to_string(), tensor);
         self
     }
 
-    /// Run the planner: choose a contraction path and loop orders
-    /// minimizing the configured cost model, with tier fallback
-    /// (paper Sec. 5), and prepare the executable [`Plan`].
-    pub fn plan(mut self, opts: PlanOptions) -> Result<Plan> {
+    /// **Stage 1 — symbolic planning.** Choose a contraction path and
+    /// loop orders minimizing the configured cost model, with tier
+    /// fallback (paper Sec. 5), using only the index dimensions and
+    /// sparsity description in `shapes` — no tensor data. The returned
+    /// [`Plan`] can be bound to many operand sets via [`Plan::bind`].
+    pub fn plan(self, shapes: &Shapes, opts: &PlanOptions) -> Result<Plan> {
+        let (kernel, accumulate) = self.resolve_symbolic(shapes)?;
+        let profile = shapes.resolve_profile(&kernel)?;
+        Plan::build(kernel, profile, accumulate, opts)
+    }
+
+    /// One-shot convenience: infer dimensions and the exact sparsity
+    /// profile from the operands bound with
+    /// [`Contraction::with_sparse_input`] / [`Contraction::with_factor`],
+    /// plan, and bind — parse → plan → bind in one call. Equivalent to
+    /// the two-stage API with a [`Shapes`] built from the bound tensors.
+    pub fn compile(self, opts: PlanOptions) -> Result<Executor> {
+        let (kernel, csf, factors, accumulate) = self.take_operands()?;
+        let profile = SparsityProfile::from_csf(&csf);
+        let plan = Plan::build(kernel, profile, accumulate, &opts)?;
+        plan.into_executor(csf, factors)
+    }
+
+    /// One-shot convenience through a [`crate::PlanCache`]: like
+    /// [`Contraction::compile`], but the symbolic plan is looked up by
+    /// [`crate::PlanKey`] first and the Sec. 5 DP only runs on a miss.
+    pub fn compile_cached(self, cache: &crate::PlanCache, opts: &PlanOptions) -> Result<Executor> {
+        let (kernel, csf, factors, accumulate) = self.take_operands()?;
+        let profile = SparsityProfile::from_csf(&csf);
+        let plan = cache.plan_from_parts(kernel, profile, accumulate, opts)?;
+        plan.bind_ordered(csf, factors)
+    }
+
+    /// Resolve the validated kernel for symbolic planning: a pre-built
+    /// kernel is used as-is, otherwise every index dimension comes from
+    /// `shapes`.
+    pub(crate) fn resolve_symbolic(self, shapes: &Shapes) -> Result<(Kernel, bool)> {
+        if let Some(kernel) = self.kernel {
+            // Dimensions live in the kernel; catch contradictions early.
+            for info in &kernel.indices {
+                if let Some(d) = shapes.dim(&info.name) {
+                    if d != info.dim {
+                        return Err(SpttnError::Shape(format!(
+                            "index '{}' is {} in the kernel but {d} in the shapes",
+                            info.name, info.dim
+                        )));
+                    }
+                }
+            }
+            return Ok((kernel, self.accumulate));
+        }
+        let output = self
+            .output
+            .as_ref()
+            .ok_or_else(|| SpttnError::Planning("no expression parsed".into()))?;
+        let kernel = build_kernel(output, &self.inputs, |name| shapes.dim(name))?;
+        Ok((kernel, self.accumulate))
+    }
+
+    /// Consume the bound operands of the one-shot path: validated
+    /// kernel, CSF, dense factors in input order, and the accumulate
+    /// flag.
+    pub(crate) fn take_operands(mut self) -> Result<(Kernel, Csf, Vec<DenseTensor>, bool)> {
         let Some(csf) = self.sparse.take() else {
             return Err(SpttnError::Planning(
                 "no sparse input bound; call with_sparse_input".into(),
@@ -217,23 +400,7 @@ impl Contraction {
         spttn_exec::validate_operands(&kernel, &csf, &refs)?;
         drop(refs);
 
-        let profile = SparsityProfile::from_csf(&csf);
-        let planned = run_planner(&kernel, &profile, &opts)?;
-        let forest = build_forest(&kernel, &planned.path, &planned.spec)?;
-        let buffers = buffers_for_forest(&kernel, &planned.path, &forest);
-
-        Ok(Plan {
-            kernel,
-            path: planned.path,
-            spec: planned.spec,
-            forest,
-            buffers,
-            flops: planned.flops,
-            tier: planned.tier,
-            cost: planned.cost,
-            csf,
-            factors,
-        })
+        Ok((kernel, csf, factors, self.accumulate))
     }
 }
 
@@ -280,29 +447,52 @@ fn run_planner(kernel: &Kernel, profile: &SparsityProfile, opts: &PlanOptions) -
     }
 }
 
-/// A planned, executable contraction.
+/// A planned contraction: the symbolic artifact of Stage 1.
+///
+/// Holds the kernel, chosen contraction path, loop orders, fused loop
+/// forest, and Eq.-5 buffer specs — **no tensors**. A plan is reusable:
+/// bind it to operands with [`Plan::bind`] as many times as needed, or
+/// store it in a [`crate::PlanCache`] keyed by [`crate::PlanKey`].
 #[derive(Debug, Clone)]
 pub struct Plan {
-    kernel: Kernel,
-    path: ContractionPath,
-    spec: NestSpec,
-    forest: LoopForest,
-    buffers: Vec<BufferSpec>,
+    pub(crate) kernel: Kernel,
+    pub(crate) path: ContractionPath,
+    pub(crate) spec: NestSpec,
+    pub(crate) forest: LoopForest,
+    pub(crate) buffers: Vec<BufferSpec>,
+    pub(crate) accumulate: bool,
+    pub(crate) profile: SparsityProfile,
     /// Leading-order scalar-operation count of the chosen path.
     pub flops: u128,
     /// Asymptotic-cost tier the path came from (0 = optimal).
     pub tier: usize,
     /// Debug rendering of the chosen nest's cost value.
     pub cost: String,
-    csf: Csf,
-    factors: Vec<DenseTensor>,
 }
 
 impl Plan {
-    /// Execute the fused loop nest over the bound operands.
-    pub fn execute(&self) -> Result<ContractionOutput> {
-        let refs: Vec<&DenseTensor> = self.factors.iter().collect();
-        execute_forest(&self.kernel, &self.path, &self.forest, &self.csf, &refs)
+    /// Run the planner on fully-resolved parts.
+    pub(crate) fn build(
+        kernel: Kernel,
+        profile: SparsityProfile,
+        accumulate: bool,
+        opts: &PlanOptions,
+    ) -> Result<Plan> {
+        let planned = run_planner(&kernel, &profile, opts)?;
+        let forest = build_forest(&kernel, &planned.path, &planned.spec)?;
+        let buffers = buffers_for_forest(&kernel, &planned.path, &forest);
+        Ok(Plan {
+            kernel,
+            path: planned.path,
+            spec: planned.spec,
+            forest,
+            buffers,
+            accumulate,
+            profile,
+            flops: planned.flops,
+            tier: planned.tier,
+            cost: planned.cost,
+        })
     }
 
     /// The validated kernel.
@@ -330,6 +520,16 @@ impl Plan {
         &self.buffers
     }
 
+    /// The sparsity profile the plan was made for.
+    pub fn profile(&self) -> &SparsityProfile {
+        &self.profile
+    }
+
+    /// True when execution accumulates into the bound output (`+=`).
+    pub fn accumulate(&self) -> bool {
+        self.accumulate
+    }
+
     /// Human-readable summary: kernel, path, orders, loop nest, buffers.
     pub fn describe(&self) -> String {
         let mut s = String::new();
@@ -355,15 +555,23 @@ impl Plan {
     }
 }
 
-/// Parse either expression syntax into (output, inputs).
-fn parse_expression(expr: &str) -> Result<(RawRef, Vec<RawRef>)> {
+/// Parse either expression syntax into (output, inputs, accumulate).
+fn parse_expression(expr: &str) -> Result<(RawRef, Vec<RawRef>, bool)> {
     let e = expr.replace('[', "(").replace(']', ")");
-    let (lhs, rhs) = if let Some((ins, out)) = e.split_once("->") {
-        (out.trim().to_string(), ins.trim().to_string())
+    let (lhs, rhs, accumulate) = if let Some((ins, out)) = e.split_once("->") {
+        (out.trim().to_string(), ins.trim().to_string(), false)
     } else if let Some(pos) = e.find("+=") {
-        (e[..pos].trim().to_string(), e[pos + 2..].trim().to_string())
+        (
+            e[..pos].trim().to_string(),
+            e[pos + 2..].trim().to_string(),
+            true,
+        )
     } else if let Some(pos) = e.find('=') {
-        (e[..pos].trim().to_string(), e[pos + 1..].trim().to_string())
+        (
+            e[..pos].trim().to_string(),
+            e[pos + 1..].trim().to_string(),
+            false,
+        )
     } else {
         return Err(SpttnError::Kernel(KernelError::Parse(
             "expected '=' or '->' in contraction expression".into(),
@@ -372,9 +580,15 @@ fn parse_expression(expr: &str) -> Result<(RawRef, Vec<RawRef>)> {
     let output = parse_ref(&lhs)?;
     let mut inputs = Vec::new();
     for part in split_top_level(&rhs, '*') {
+        if part.trim().is_empty() {
+            return Err(SpttnError::Kernel(KernelError::Parse(format!(
+                "empty factor in '{}' (stray or doubled '*'?)",
+                rhs.trim()
+            ))));
+        }
         inputs.push(parse_ref(&part)?);
     }
-    Ok((output, inputs))
+    Ok((output, inputs, accumulate))
 }
 
 fn parse_ref(s: &str) -> Result<RawRef> {
@@ -407,6 +621,9 @@ fn parse_ref(s: &str) -> Result<RawRef> {
     })
 }
 
+/// Split on `sep` outside parentheses. Every segment is kept — including
+/// empty ones from doubled or trailing separators — so the caller can
+/// reject them with a pointed message instead of silently dropping them.
 fn split_top_level(s: &str, sep: char) -> Vec<String> {
     let mut out = Vec::new();
     let mut depth = 0usize;
@@ -425,14 +642,59 @@ fn split_top_level(s: &str, sep: char) -> Vec<String> {
             _ => cur.push(c),
         }
     }
-    if !cur.trim().is_empty() {
-        out.push(cur);
-    }
+    out.push(cur);
     out
 }
 
+/// Build the validated kernel from parsed structure and a dimension
+/// oracle (symbolic path: dimensions come from [`Shapes`]; one-shot
+/// path: from the bound tensors).
+fn build_kernel(
+    output: &RawRef,
+    inputs: &[RawRef],
+    dim_of: impl Fn(&str) -> Option<usize>,
+) -> Result<Kernel> {
+    let mut b = KernelBuilder::new();
+    // Declare indices in first-appearance order (sparse modes first).
+    for r in inputs {
+        for idx in &r.indices {
+            let dim = dim_of(idx).ok_or_else(|| {
+                SpttnError::Planning(format!(
+                    "no dimension bound for index '{idx}'; call Shapes::with_dim(\"{idx}\", ...)"
+                ))
+            })?;
+            b = b.index(idx, dim);
+        }
+    }
+    for idx in &output.indices {
+        if dim_of(idx).is_none() {
+            return Err(SpttnError::Kernel(KernelError::UnboundOutputIndex(
+                idx.clone(),
+            )));
+        }
+    }
+    let oinds: Vec<&str> = output.indices.iter().map(String::as_str).collect();
+    b = b.output(&output.name, &oinds);
+    for r in inputs {
+        let iinds: Vec<&str> = r.indices.iter().map(String::as_str).collect();
+        b = b.input(&r.name, &iinds);
+    }
+    // Pattern-sharing output: index set equals the sparse input's.
+    let sparse = &inputs[0];
+    let mut oset: Vec<&String> = output.indices.iter().collect();
+    let mut sset: Vec<&String> = sparse.indices.iter().collect();
+    oset.sort();
+    oset.dedup();
+    sset.sort();
+    sset.dedup();
+    if oset == sset {
+        b = b.sparse_output();
+    }
+    Ok(b.build()?)
+}
+
 /// Infer every index dimension from the bound tensors and build the
-/// validated kernel.
+/// validated kernel (one-shot path).
 fn infer_kernel(
     output: &RawRef,
     inputs: &[RawRef],
@@ -485,36 +747,5 @@ fn infer_kernel(
             learn(idx, t.dims()[pos])?;
         }
     }
-    for idx in &output.indices {
-        if !dims.contains_key(idx) {
-            return Err(SpttnError::Kernel(KernelError::UnboundOutputIndex(
-                idx.clone(),
-            )));
-        }
-    }
-
-    let mut b = KernelBuilder::new();
-    // Declare indices in first-appearance order (sparse modes first).
-    for r in inputs {
-        for idx in &r.indices {
-            b = b.index(idx, dims[idx]);
-        }
-    }
-    let oinds: Vec<&str> = output.indices.iter().map(String::as_str).collect();
-    b = b.output(&output.name, &oinds);
-    for r in inputs {
-        let iinds: Vec<&str> = r.indices.iter().map(String::as_str).collect();
-        b = b.input(&r.name, &iinds);
-    }
-    // Pattern-sharing output: index set equals the sparse input's.
-    let mut oset: Vec<&String> = output.indices.iter().collect();
-    let mut sset: Vec<&String> = sparse.indices.iter().collect();
-    oset.sort();
-    oset.dedup();
-    sset.sort();
-    sset.dedup();
-    if oset == sset {
-        b = b.sparse_output();
-    }
-    Ok(b.build()?)
+    build_kernel(output, inputs, |name| dims.get(name).copied())
 }

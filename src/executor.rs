@@ -1,0 +1,362 @@
+//! Stage 2 of the pipeline: bind operands to a symbolic [`Plan`] and
+//! execute it repeatedly.
+//!
+//! An [`Executor`] owns the bound CSF sparse input, the dense factors
+//! (slot-ordered), a preallocated [`Workspace`] holding every Eq.-5
+//! intermediate buffer, and output storage — everything execution
+//! touches. After [`Plan::bind`] returns, [`Executor::execute_into`]
+//! performs **zero heap allocations**, and the rebinding methods
+//! ([`Executor::set_factor`], [`Executor::set_sparse_values`]) copy new
+//! values into the existing allocations, which is exactly the shape of
+//! an ALS / HOOI sweep: plan once, rebind factors each iteration,
+//! execute.
+
+use crate::contraction::Plan;
+use crate::{Result, SpttnError};
+use spttn_exec::{
+    execute_forest_into, validate_slotted_operands, ContractionOutput, OutputMut, Workspace,
+};
+use spttn_tensor::{CooTensor, Csf, DenseTensor};
+use std::collections::HashMap;
+
+impl Plan {
+    /// Bind operands to this plan: the CSF sparse input (stored in the
+    /// kernel's written index order) and one dense tensor per distinct
+    /// factor name. Shapes are validated here, once — the executor's
+    /// hot path revalidates cheaply but never reallocates.
+    pub fn bind(&self, csf: Csf, factors: &[(&str, &DenseTensor)]) -> Result<Executor> {
+        // A duplicated name would silently shadow the later binding.
+        for (pos, (name, _)) in factors.iter().enumerate() {
+            if factors[..pos].iter().any(|(n, _)| n == name) {
+                return Err(SpttnError::Execution(format!(
+                    "factor '{name}' bound twice; bind each name once"
+                )));
+            }
+        }
+        // Resolve names to input-order tensors (sparse slot skipped). A
+        // name filling several slots is cloned into each.
+        let mut compact: Vec<DenseTensor> = Vec::new();
+        for (slot, r) in self.kernel.inputs.iter().enumerate() {
+            if slot == self.kernel.sparse_input {
+                continue;
+            }
+            let t = factors
+                .iter()
+                .find(|(name, _)| *name == r.name)
+                .map(|(_, t)| (*t).clone())
+                .ok_or_else(|| {
+                    SpttnError::Execution(format!(
+                        "dense factor '{}' not bound; pass (\"{}\", &tensor) to bind",
+                        r.name, r.name
+                    ))
+                })?;
+            compact.push(t);
+        }
+        for (name, _) in factors {
+            if !self
+                .kernel
+                .inputs
+                .iter()
+                .enumerate()
+                .any(|(slot, r)| slot != self.kernel.sparse_input && r.name == *name)
+            {
+                return Err(SpttnError::Execution(format!(
+                    "bound factor '{name}' does not appear in the kernel"
+                )));
+            }
+        }
+        self.bind_ordered(csf, compact)
+    }
+
+    /// Bind with factors already collected in input order (the sparse
+    /// slot skipped). Shared by [`Plan::bind`] and the one-shot facade.
+    pub(crate) fn bind_ordered(&self, csf: Csf, factors: Vec<DenseTensor>) -> Result<Executor> {
+        self.clone().into_executor(csf, factors)
+    }
+
+    /// Consuming variant of [`Plan::bind_ordered`] (avoids the clone
+    /// when the plan is not reused).
+    pub(crate) fn into_executor(self, csf: Csf, factors: Vec<DenseTensor>) -> Result<Executor> {
+        Executor::new(self, csf, factors)
+    }
+}
+
+/// A plan bound to operands, ready for repeated execution.
+///
+/// See the [module docs](self) for the allocation contract and the
+/// rebinding workflow.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    plan: Plan,
+    csf: Csf,
+    /// Slot-ordered dense factors; the sparse slot holds an unread
+    /// scalar placeholder.
+    factors: Vec<DenseTensor>,
+    /// Input slots each factor name fills (for [`Executor::set_factor`]).
+    slots_by_name: HashMap<String, Vec<usize>>,
+    workspace: Workspace,
+    /// Internal output storage for [`Executor::execute`].
+    out_dense: DenseTensor,
+    out_vals: Vec<f64>,
+    /// Coordinate template for materializing pattern-sharing outputs.
+    coo_template: Option<CooTensor>,
+}
+
+impl Executor {
+    fn new(plan: Plan, csf: Csf, compact: Vec<DenseTensor>) -> Result<Executor> {
+        let kernel = &plan.kernel;
+        let n_dense = kernel.inputs.len() - 1;
+        if compact.len() != n_dense {
+            return Err(SpttnError::Execution(format!(
+                "expected {n_dense} dense factors, got {}",
+                compact.len()
+            )));
+        }
+        let mut factors: Vec<DenseTensor> = Vec::with_capacity(kernel.inputs.len());
+        let mut slots_by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut next = compact.into_iter();
+        for (slot, r) in kernel.inputs.iter().enumerate() {
+            if slot == kernel.sparse_input {
+                factors.push(DenseTensor::zeros(&[]));
+                continue;
+            }
+            factors.push(next.next().expect("length checked above"));
+            slots_by_name.entry(r.name.clone()).or_default().push(slot);
+        }
+        validate_slotted_operands(kernel, &csf, &factors)?;
+
+        let workspace = Workspace::from_specs(kernel, &plan.path, &plan.forest, &plan.buffers);
+        let (out_dense, out_vals, coo_template) = if kernel.output_sparse {
+            (
+                DenseTensor::zeros(&[]),
+                vec![0.0; csf.nnz()],
+                Some(csf.to_coo()),
+            )
+        } else {
+            (
+                DenseTensor::zeros(&kernel.ref_dims(&kernel.output)),
+                Vec::new(),
+                None,
+            )
+        };
+
+        Ok(Executor {
+            plan,
+            csf,
+            factors,
+            slots_by_name,
+            workspace,
+            out_dense,
+            out_vals,
+            coo_template,
+        })
+    }
+
+    /// The symbolic plan this executor runs.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The bound sparse input.
+    pub fn csf(&self) -> &Csf {
+        &self.csf
+    }
+
+    /// The preallocated workspace (exposed so callers can assert buffer
+    /// stability across executions).
+    pub fn workspace(&self) -> &Workspace {
+        &self.workspace
+    }
+
+    /// The first bound tensor for a factor name, if any.
+    pub fn factor(&self, name: &str) -> Option<&DenseTensor> {
+        let slot = *self.slots_by_name.get(name)?.first()?;
+        Some(&self.factors[slot])
+    }
+
+    /// A zeroed output with the correct shape for
+    /// [`Executor::execute_into`]: a dense tensor, or a pattern-sharing
+    /// sparse tensor with the CSF's coordinates.
+    pub fn output_template(&self) -> ContractionOutput {
+        match &self.coo_template {
+            Some(coo) => ContractionOutput::Sparse(coo.with_vals(vec![0.0; self.csf.nnz()])),
+            None => ContractionOutput::Dense(DenseTensor::zeros(
+                &self.plan.kernel.ref_dims(&self.plan.kernel.output),
+            )),
+        }
+    }
+
+    /// Execute into a caller-owned output with **zero heap allocation**.
+    ///
+    /// For a plain `=` plan the output is zeroed first; for a `+=` plan
+    /// (see [`crate::Contraction::with_accumulate`]) the contraction is
+    /// accumulated on top of the output's existing values.
+    pub fn execute_into(&mut self, out: &mut ContractionOutput) -> Result<()> {
+        let Executor {
+            plan,
+            csf,
+            factors,
+            workspace,
+            coo_template,
+            ..
+        } = self;
+        match out {
+            ContractionOutput::Dense(d) => {
+                // Guard before zeroing so a mismatched output is left
+                // untouched; the core revalidates with a full message.
+                let oinds = &plan.kernel.output.indices;
+                let fits = !plan.kernel.output_sparse
+                    && d.order() == oinds.len()
+                    && oinds
+                        .iter()
+                        .enumerate()
+                        .all(|(pos, &i)| d.dims()[pos] == plan.kernel.dim(i));
+                if fits && !plan.accumulate {
+                    d.fill_zero();
+                }
+                execute_forest_into(
+                    &plan.kernel,
+                    &plan.path,
+                    &plan.forest,
+                    csf,
+                    factors,
+                    workspace,
+                    OutputMut::Dense(d),
+                )
+            }
+            ContractionOutput::Sparse(c) => {
+                if c.dims() != csf.dims() {
+                    return Err(SpttnError::Shape(format!(
+                        "sparse output has dims {:?}, the bound CSF has {:?}",
+                        c.dims(),
+                        csf.dims()
+                    )));
+                }
+                // A pattern-sharing output must carry *exactly* the
+                // bound CSF's coordinates in leaf order — same nnz with
+                // different coordinates would silently pair values with
+                // the wrong positions. Cheap memcmp, no allocation.
+                if let Some(template) = coo_template {
+                    if c.coords() != template.coords() {
+                        return Err(SpttnError::Shape(
+                            "sparse output's coordinate pattern differs from the bound CSF; \
+                             start from Executor::output_template()"
+                                .into(),
+                        ));
+                    }
+                }
+                let fits = plan.kernel.output_sparse && c.nnz() == csf.nnz();
+                if fits && !plan.accumulate {
+                    c.vals_mut().fill(0.0);
+                }
+                execute_forest_into(
+                    &plan.kernel,
+                    &plan.path,
+                    &plan.forest,
+                    csf,
+                    factors,
+                    workspace,
+                    OutputMut::Sparse(c.vals_mut()),
+                )
+            }
+        }
+    }
+
+    /// Execute and return a freshly materialized output (always `=`
+    /// semantics: the result starts from zero). Allocates only for the
+    /// returned value; prefer [`Executor::execute_into`] in hot loops.
+    pub fn execute(&mut self) -> Result<ContractionOutput> {
+        let Executor {
+            plan,
+            csf,
+            factors,
+            workspace,
+            out_dense,
+            out_vals,
+            ..
+        } = self;
+        if plan.kernel.output_sparse {
+            out_vals.fill(0.0);
+            execute_forest_into(
+                &plan.kernel,
+                &plan.path,
+                &plan.forest,
+                csf,
+                factors,
+                workspace,
+                OutputMut::Sparse(out_vals),
+            )?;
+            let coo = self
+                .coo_template
+                .as_ref()
+                .expect("sparse output has a template")
+                .with_vals(self.out_vals.clone());
+            Ok(ContractionOutput::Sparse(coo))
+        } else {
+            out_dense.fill_zero();
+            execute_forest_into(
+                &plan.kernel,
+                &plan.path,
+                &plan.forest,
+                csf,
+                factors,
+                workspace,
+                OutputMut::Dense(out_dense),
+            )?;
+            Ok(ContractionOutput::Dense(self.out_dense.clone()))
+        }
+    }
+
+    /// Rebind a dense factor's values in place (every slot the name
+    /// fills). The new tensor must match the bound shape exactly; no
+    /// reallocation happens.
+    pub fn set_factor(&mut self, name: &str, tensor: &DenseTensor) -> Result<()> {
+        let Executor {
+            factors,
+            slots_by_name,
+            ..
+        } = self;
+        let slots = slots_by_name.get(name).ok_or_else(|| {
+            SpttnError::Execution(format!("no dense factor named '{name}' in this plan"))
+        })?;
+        for &slot in slots {
+            if factors[slot].dims() != tensor.dims() {
+                return Err(SpttnError::Shape(format!(
+                    "factor '{name}' has dims {:?}, executor expects {:?}",
+                    tensor.dims(),
+                    factors[slot].dims()
+                )));
+            }
+        }
+        for &slot in slots {
+            factors[slot]
+                .as_mut_slice()
+                .copy_from_slice(tensor.as_slice());
+        }
+        Ok(())
+    }
+
+    /// Rebind the sparse input's nonzero values in place (leaf order of
+    /// the bound CSF). The sparsity *pattern* is fixed at bind time —
+    /// only same-pattern value updates are cheap; a new pattern needs a
+    /// fresh [`Plan::bind`].
+    pub fn set_sparse_values(&mut self, vals: &[f64]) -> Result<()> {
+        if vals.len() != self.csf.nnz() {
+            return Err(SpttnError::Shape(format!(
+                "got {} sparse values, the bound CSF has {} nonzeros",
+                vals.len(),
+                self.csf.nnz()
+            )));
+        }
+        // The COO template's values are never read — it only donates its
+        // coordinates (`with_vals` replaces values) — so only the CSF
+        // needs updating.
+        self.csf.vals_mut().copy_from_slice(vals);
+        Ok(())
+    }
+
+    /// Human-readable summary of the underlying plan.
+    pub fn describe(&self) -> String {
+        self.plan.describe()
+    }
+}

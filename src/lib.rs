@@ -1,40 +1,66 @@
 //! # spttn
 //!
 //! Minimum-cost loop nests for contraction of a sparse tensor with a
-//! tensor network (SPAA 2024), as one pipeline: **parse → plan →
-//! execute**.
+//! tensor network (SPAA 2024), as a two-stage pipeline: **plan once on
+//! structure, execute many times on data**.
 //!
-//! The facade lives in [`Contraction`]: parse an einsum-style
-//! expression, bind a CSF sparse input and dense factors, plan under a
-//! selectable tree-separable cost model ([`CostModel`]), and execute
-//! the fused loop nest. The underlying layers remain available as
-//! re-exported crates ([`ir`], [`tensor`], [`cost`], [`exec`]) for
-//! callers that need direct control.
+//! - **Stage 1 (symbolic):** [`Contraction::parse`] reads an
+//!   einsum-style expression; [`Contraction::plan`] runs the Sec. 5
+//!   planner against a data-independent [`Shapes`] description under a
+//!   selectable cost model ([`CostModel`]). The resulting [`Plan`]
+//!   holds kernel, contraction path, loop orders, fused forest, and
+//!   buffer specs — no tensors.
+//! - **Stage 2 (bound):** [`Plan::bind`] attaches a CSF sparse input
+//!   and named dense factors, yielding an [`Executor`] whose
+//!   preallocated workspace makes [`Executor::execute_into`]
+//!   allocation-free. [`Executor::set_factor`] and
+//!   [`Executor::set_sparse_values`] rebind values in place for
+//!   iterative algorithms (CP-ALS, HOOI).
+//! - [`PlanCache`] keys plans by [`PlanKey`] (kernel structure, mode
+//!   dims, sparsity-profile summary, cost model) so repeated builds of
+//!   the same contraction skip the planning DP entirely.
+//!
+//! The one-shot path survives as [`Contraction::compile`]: bind
+//! operands directly and get a ready [`Executor`] in one call.
 //!
 //! ```
 //! use rand::prelude::*;
-//! use spttn::{Contraction, CostModel, PlanOptions};
+//! use spttn::{Contraction, CostModel, PlanOptions, Shapes};
 //! use spttn_tensor::{random_coo, random_dense, Csf};
 //!
+//! // Stage 1 — plan from structure only (no tensors needed).
+//! let plan = Contraction::parse("T[i,j,k]*A[j,r]*B[k,r]->O[i,r]")
+//!     .unwrap()
+//!     .plan(
+//!         &Shapes::new()
+//!             .with_dims(&[("i", 30), ("j", 20), ("k", 25), ("r", 8)])
+//!             .with_nnz(200),
+//!         &PlanOptions::with_cost_model(CostModel::MaxBufferSize),
+//!     )
+//!     .unwrap();
+//!
+//! // Stage 2 — bind data, then execute many times (ALS-sweep shape).
 //! let mut rng = StdRng::seed_from_u64(7);
 //! let coo = random_coo(&[30, 20, 25], 200, &mut rng).unwrap();
 //! let csf = Csf::from_coo(&coo, &[0, 1, 2]).unwrap();
+//! let (a, b) = (random_dense(&[20, 8], &mut rng), random_dense(&[25, 8], &mut rng));
 //!
-//! let plan = Contraction::parse("T[i,j,k]*A[j,r]*B[k,r]->O[i,r]")
-//!     .unwrap()
-//!     .with_sparse_input(csf)
-//!     .with_factor("A", random_dense(&[20, 8], &mut rng))
-//!     .with_factor("B", random_dense(&[25, 8], &mut rng))
-//!     .plan(PlanOptions::with_cost_model(CostModel::MaxBufferSize))
-//!     .unwrap();
-//!
-//! let out = plan.execute().unwrap();
+//! let mut exec = plan.bind(csf, &[("A", &a), ("B", &b)]).unwrap();
+//! let mut out = exec.output_template();
+//! for _sweep in 0..4 {
+//!     exec.set_factor("A", &random_dense(&[20, 8], &mut rng)).unwrap();
+//!     exec.execute_into(&mut out).unwrap(); // zero heap allocations
+//! }
 //! assert_eq!(out.to_dense().dims(), &[30, 8]);
 //! ```
 
+pub mod cache;
 pub mod contraction;
+pub mod executor;
 
-pub use contraction::{Contraction, CostModel, Plan, PlanOptions};
+pub use cache::{PlanCache, PlanKey};
+pub use contraction::{Contraction, CostModel, Plan, PlanOptions, Shapes};
+pub use executor::Executor;
 pub use spttn_core::{Result, Scalar, SpttnError};
 pub use spttn_exec::ContractionOutput;
 

@@ -61,15 +61,15 @@ fn check_kernel(kernel: &Kernel, nnz: usize, seed: u64, model: CostModel) {
     for (name, t) in &factors {
         c = c.with_factor(name, t.clone());
     }
-    let plan = c
-        .plan(PlanOptions::with_cost_model(model))
+    let mut exec = c
+        .compile(PlanOptions::with_cost_model(model))
         .unwrap_or_else(|e| panic!("planning failed for {model:?}: {e}"));
-    let got = plan.execute().unwrap();
+    let got = exec.execute().unwrap();
     assert!(
         got.to_dense().approx_eq(&want, TOL),
         "mismatch for {} under {model:?}\n{}",
         kernel.to_einsum(),
-        plan.describe()
+        exec.describe()
     );
 }
 
@@ -112,10 +112,10 @@ fn tttp_golden_sparse_output() {
     for (name, t) in &factors {
         c = c.with_factor(name, t.clone());
     }
-    let plan = c
-        .plan(PlanOptions::with_cost_model(CostModel::MaxBufferSize))
+    let mut exec = c
+        .compile(PlanOptions::with_cost_model(CostModel::MaxBufferSize))
         .unwrap();
-    let got = plan.execute().unwrap();
+    let got = exec.execute().unwrap();
     let ContractionOutput::Sparse(out) = &got else {
         panic!("TTTP output must share the sparse pattern");
     };
@@ -138,14 +138,14 @@ fn parsed_mttkrp_matches_reference() {
     let a = random_dense(&[10, 5], &mut rng);
     let b = random_dense(&[11, 5], &mut rng);
 
-    let plan = Contraction::parse("T[i,j,k]*A[j,r]*B[k,r]->O[i,r]")
+    let mut exec = Contraction::parse("T[i,j,k]*A[j,r]*B[k,r]->O[i,r]")
         .unwrap()
         .with_sparse_input(csf)
         .with_factor("A", a.clone())
         .with_factor("B", b.clone())
-        .plan(PlanOptions::default())
+        .compile(PlanOptions::default())
         .unwrap();
-    let got = plan.execute().unwrap();
+    let got = exec.execute().unwrap();
 
     let k = spttn::ir::parse_kernel(
         "O(i,r) = T(i,j,k) * A(j,r) * B(k,r)",
@@ -166,14 +166,14 @@ fn parsed_ttmc_matches_reference() {
     let u = random_dense(&[9, 4], &mut rng);
     let v = random_dense(&[11, 5], &mut rng);
 
-    let plan = Contraction::parse("S(i,r,s) = T(i,j,k) * U(j,r) * V(k,s)")
+    let mut exec = Contraction::parse("S(i,r,s) = T(i,j,k) * U(j,r) * V(k,s)")
         .unwrap()
         .with_sparse_input(csf)
         .with_factor("U", u.clone())
         .with_factor("V", v.clone())
-        .plan(PlanOptions::with_cost_model(CostModel::CacheMiss { d: 1 }))
+        .compile(PlanOptions::with_cost_model(CostModel::CacheMiss { d: 1 }))
         .unwrap();
-    let got = plan.execute().unwrap();
+    let got = exec.execute().unwrap();
 
     let k = spttn::ir::parse_kernel(
         "S(i,r,s) = T(i,j,k) * U(j,r) * V(k,s)",
@@ -195,7 +195,7 @@ fn facade_reports_unified_errors() {
     // Missing sparse input.
     let e = Contraction::parse("O(i,r) = T(i,j,k) * A(j,r) * B(k,r)")
         .unwrap()
-        .plan(PlanOptions::default());
+        .compile(PlanOptions::default());
     assert!(matches!(e, Err(spttn::SpttnError::Planning(_))));
 
     // Missing factor.
@@ -203,7 +203,7 @@ fn facade_reports_unified_errors() {
         .unwrap()
         .with_sparse_input(csf.clone())
         .with_factor("A", random_dense(&[7, 3], &mut rng))
-        .plan(PlanOptions::default());
+        .compile(PlanOptions::default());
     assert!(matches!(e, Err(spttn::SpttnError::Planning(_))));
 
     // Conflicting dimension for shared index r.
@@ -212,7 +212,7 @@ fn facade_reports_unified_errors() {
         .with_sparse_input(csf.clone())
         .with_factor("A", random_dense(&[7, 3], &mut rng))
         .with_factor("B", random_dense(&[8, 4], &mut rng))
-        .plan(PlanOptions::default());
+        .compile(PlanOptions::default());
     assert!(matches!(e, Err(spttn::SpttnError::Shape(_))));
 
     // Factor name not in the expression.
@@ -222,7 +222,7 @@ fn facade_reports_unified_errors() {
         .with_factor("A", random_dense(&[7, 3], &mut rng))
         .with_factor("B", random_dense(&[8, 3], &mut rng))
         .with_factor("Z", random_dense(&[2, 2], &mut rng))
-        .plan(PlanOptions::default());
+        .compile(PlanOptions::default());
     assert!(matches!(e, Err(spttn::SpttnError::Planning(_))));
 
     // Unparseable expressions.
@@ -240,8 +240,8 @@ fn plan_describe_mentions_structure() {
     for (name, t) in &factors {
         c = c.with_factor(name, t.clone());
     }
-    let plan = c.plan(PlanOptions::default()).unwrap();
-    let d = plan.describe();
+    let exec = c.compile(PlanOptions::default()).unwrap();
+    let d = exec.describe();
     assert!(d.contains("kernel: A(i,a)"), "{d}");
     assert!(d.contains("path:"), "{d}");
     assert!(d.contains("nest:"), "{d}");

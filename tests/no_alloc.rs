@@ -1,0 +1,106 @@
+//! Acceptance criterion: `Executor::execute_into` performs **zero heap
+//! allocations** after construction.
+//!
+//! A counting global allocator wraps the system allocator; the test
+//! binary holds exactly one test function so no concurrent test can
+//! perturb the counter between the before/after reads.
+
+use rand::prelude::*;
+use spttn::tensor::{random_coo, random_dense, Csf, SparsityProfile};
+use spttn::{Contraction, CostModel, PlanOptions, Shapes};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+#[test]
+fn execute_into_performs_zero_heap_allocations() {
+    let mut rng = StdRng::seed_from_u64(9);
+
+    // Dense-output kernel (MTTKRP).
+    let coo = random_coo(&[20, 16, 18], 400, &mut rng).unwrap();
+    let csf = Csf::from_coo(&coo, &[0, 1, 2]).unwrap();
+    let a = random_dense(&[16, 6], &mut rng);
+    let b = random_dense(&[18, 6], &mut rng);
+    let a2 = random_dense(&[16, 6], &mut rng);
+    let plan = Contraction::parse("T[i,j,k]*A[j,r]*B[k,r]->O[i,r]")
+        .unwrap()
+        .plan(
+            &Shapes::new()
+                .with_dims(&[("i", 20), ("j", 16), ("k", 18), ("r", 6)])
+                .with_profile(SparsityProfile::from_csf(&csf)),
+            &PlanOptions::with_cost_model(CostModel::BlasAware {
+                buffer_dim_bound: 2,
+            }),
+        )
+        .unwrap();
+    let mut exec = plan.bind(csf.clone(), &[("A", &a), ("B", &b)]).unwrap();
+    let mut out = exec.output_template();
+    let new_vals: Vec<f64> = csf.vals().iter().map(|v| v * 0.5).collect();
+
+    // Warm-up outside the counted window.
+    exec.execute_into(&mut out).unwrap();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..3 {
+        exec.execute_into(&mut out).unwrap();
+    }
+    exec.set_factor("A", &a2).unwrap();
+    exec.set_sparse_values(&new_vals).unwrap();
+    exec.execute_into(&mut out).unwrap();
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "dense-output execute_into / rebind allocated on the heap"
+    );
+
+    // Sparse-output kernel (TTTP / SDDMM-like).
+    let u = random_dense(&[20, 4], &mut rng);
+    let v = random_dense(&[16, 4], &mut rng);
+    let w = random_dense(&[18, 4], &mut rng);
+    let plan = Contraction::parse("S(i,j,k) = T(i,j,k) * U(i,r) * V(j,r) * W(k,r)")
+        .unwrap()
+        .plan(
+            &Shapes::new()
+                .with_dims(&[("i", 20), ("j", 16), ("k", 18), ("r", 4)])
+                .with_profile(SparsityProfile::from_csf(&csf)),
+            &PlanOptions::with_cost_model(CostModel::MaxBufferSize),
+        )
+        .unwrap();
+    let mut exec = plan.bind(csf, &[("U", &u), ("V", &v), ("W", &w)]).unwrap();
+    let mut out = exec.output_template();
+    exec.execute_into(&mut out).unwrap();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..3 {
+        exec.execute_into(&mut out).unwrap();
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "sparse-output execute_into allocated on the heap"
+    );
+}
