@@ -34,11 +34,52 @@ use spttn_ir::{
     buffers_for_forest, BufferSpec, ContractionPath, IndexId, Kernel, LoopForest, LoopNode,
     LoopVertex, Operand, VertexKind,
 };
-use spttn_tensor::{CooTensor, Csf, DenseTensor};
+use spttn_tensor::{CooTensor, Csf, CsfTile, DenseTensor};
+
+/// Per-execution counters of microkernel dispatches.
+///
+/// One instance lives in every [`Workspace`]; [`execute_forest_into`]
+/// resets it at the start of each run, so after a call the workspace's
+/// stats describe exactly that execution. Parallel runs aggregate one
+/// instance per worker with [`ExecStats::merge`]. The process-global
+/// [`stats::snapshot`] atomics keep accumulating as before for callers
+/// that relied on cumulative totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// AXPY dispatches.
+    pub axpy: u64,
+    /// DOT dispatches.
+    pub dot: u64,
+    /// Elementwise ternary dispatches.
+    pub xmul: u64,
+    /// GER dispatches.
+    pub ger: u64,
+    /// GEMV dispatches.
+    pub gemv: u64,
+}
+
+impl ExecStats {
+    /// Add another counter set into this one (aggregation across
+    /// parallel workers).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.axpy += other.axpy;
+        self.dot += other.dot;
+        self.xmul += other.xmul;
+        self.ger += other.ger;
+        self.gemv += other.gemv;
+    }
+
+    /// Total microkernel dispatches.
+    pub fn total(&self) -> u64 {
+        self.axpy + self.dot + self.xmul + self.ger + self.gemv
+    }
+}
 
 /// Process-wide counters of microkernel dispatches, for tests and
 /// perf diagnostics. Monotonically increasing; read with
-/// [`stats::snapshot`] and compare before/after deltas.
+/// [`stats::snapshot`] and compare before/after deltas. This is the
+/// compat shim over atomic totals — per-execution numbers live in
+/// [`ExecStats`] (see [`Workspace::stats`]).
 pub mod stats {
     use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -111,7 +152,7 @@ impl ContractionOutput {
 /// one-shot wrapper hands borrowed references — neither path copies
 /// tensor data. The sparse slot's entry is never read.
 #[derive(Debug, Clone, Copy)]
-enum Slots<'a> {
+pub(crate) enum Slots<'a> {
     /// One owned tensor per kernel input slot.
     Owned(&'a [DenseTensor]),
     /// One borrowed tensor per kernel input slot.
@@ -120,7 +161,7 @@ enum Slots<'a> {
 
 impl<'a> Slots<'a> {
     #[inline]
-    fn get(self, slot: usize) -> &'a DenseTensor {
+    pub(crate) fn get(self, slot: usize) -> &'a DenseTensor {
         match self {
             Slots::Owned(s) => &s[slot],
             Slots::Refs(r) => r[slot],
@@ -251,6 +292,8 @@ pub struct Workspace {
     nodes: Vec<Option<usize>>,
     /// Dummy dense target used when the kernel's output is sparse.
     scratch_dense: DenseTensor,
+    /// Microkernel dispatch counters of the most recent execution.
+    stats: ExecStats,
     /// Fingerprint of the forest the buffers were sized for, so
     /// [`execute_forest_into`] can reject a workspace built for a
     /// different nest (whose buffer shapes would silently disagree).
@@ -299,8 +342,15 @@ impl Workspace {
             coords: vec![0; kernel.num_indices()],
             nodes: vec![None; kernel.csf_index_order().len()],
             scratch_dense: DenseTensor::zeros(&[]),
+            stats: ExecStats::default(),
             forest_stamp: forest_stamp(forest),
         }
+    }
+
+    /// Microkernel dispatch counters of the most recent execution run
+    /// with this workspace.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
     }
 
     /// The intermediate buffers, one per path term (final term holds a
@@ -349,23 +399,67 @@ pub fn execute_forest_into(
         path,
         forest,
         csf,
+        csf.root_range(),
+        0,
+        csf.nnz(),
         Slots::Owned(factors_by_slot),
         ws,
         out,
     )
 }
 
-fn execute_slots(
+/// Execute a fused loop forest over one [`CsfTile`] of the sparse
+/// tensor, reusing a preallocated [`Workspace`].
+///
+/// Identical to [`execute_forest_into`] but restricted to the tile's
+/// root subtrees: only the tile's root fibers are iterated (and binary
+/// searches for densely-iterated sparse root modes are confined to the
+/// tile), so the call computes exactly the tile's additive contribution
+/// to the full contraction. A dense `out` receives that partial sum; a
+/// sparse `out` must be the slice of output values covering exactly the
+/// tile's [`CsfTile::leaf_range`] (tiles write disjoint leaf ranges, so
+/// pattern-sharing outputs need no cross-tile reduction). Executing
+/// every tile of a [`Csf::partition`] and summing dense partials in a
+/// fixed order reproduces the full result deterministically.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_forest_tile_into(
     kernel: &Kernel,
     path: &ContractionPath,
     forest: &LoopForest,
     csf: &Csf,
-    slots: Slots<'_>,
+    tile: &CsfTile,
+    factors_by_slot: &[DenseTensor],
     ws: &mut Workspace,
     out: OutputMut<'_>,
 ) -> Result<()> {
-    validate_slots(kernel, csf, slots)?;
-    match &out {
+    if tile.depth() != csf.order().max(1) {
+        return Err(SpttnError::Execution(format!(
+            "tile spans {} levels but the CSF has {} (tile built for a different tensor?)",
+            tile.depth(),
+            csf.order()
+        )));
+    }
+    execute_slots(
+        kernel,
+        path,
+        forest,
+        csf,
+        tile.root_range(),
+        tile.leaf_range().start,
+        tile.leaf_nnz(),
+        Slots::Owned(factors_by_slot),
+        ws,
+        out,
+    )
+}
+
+/// Validate an output target against a kernel: dense/sparse kind, the
+/// dense dimensions, or the sparse value count (`leaf_len` nonzeros —
+/// the whole tensor for a full execution, one tile's leaves for a tiled
+/// one). Allocation-free on the success path; shared by the serial core
+/// and the parallel executor so the two cannot drift.
+pub(crate) fn validate_output(kernel: &Kernel, out: &OutputMut<'_>, leaf_len: usize) -> Result<()> {
+    match out {
         OutputMut::Dense(d) => {
             if kernel.output_sparse {
                 return Err(SpttnError::Execution(
@@ -392,15 +486,33 @@ fn execute_slots(
                     "kernel output is dense; pass OutputMut::Dense".into(),
                 ));
             }
-            if v.len() != csf.nnz() {
+            if v.len() != leaf_len {
                 return Err(SpttnError::Shape(format!(
-                    "sparse output has {} values, CSF has {} nonzeros",
+                    "sparse output has {} values, the executed range has {} nonzeros",
                     v.len(),
-                    csf.nnz()
+                    leaf_len
                 )));
             }
         }
     }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_slots(
+    kernel: &Kernel,
+    path: &ContractionPath,
+    forest: &LoopForest,
+    csf: &Csf,
+    root_range: std::ops::Range<usize>,
+    leaf_lo: usize,
+    leaf_len: usize,
+    slots: Slots<'_>,
+    ws: &mut Workspace,
+    out: OutputMut<'_>,
+) -> Result<()> {
+    validate_slots(kernel, csf, slots)?;
+    validate_output(kernel, &out, leaf_len)?;
     if ws.buffers.len() != path.len()
         || ws.coords.len() != kernel.num_indices()
         || ws.forest_stamp != forest_stamp(forest)
@@ -409,12 +521,14 @@ fn execute_slots(
             "workspace does not match the plan (build it from the same kernel/path/forest)".into(),
         ));
     }
+    ws.stats = ExecStats::default();
     let Workspace {
         buffers,
         buffer_inds,
         coords,
         nodes,
         scratch_dense,
+        stats,
         ..
     } = ws;
     let (out_dense, out_sparse): (&mut DenseTensor, &mut [f64]) = match out {
@@ -426,6 +540,8 @@ fn execute_slots(
         path,
         forest,
         csf,
+        root_range,
+        leaf_lo,
         factors: slots,
         buffers,
         buffer_inds,
@@ -433,6 +549,7 @@ fn execute_slots(
         nodes,
         out_dense,
         out_sparse,
+        stats,
     };
     exec.run()
 }
@@ -472,6 +589,9 @@ pub fn execute_forest(
             path,
             forest,
             csf,
+            csf.root_range(),
+            0,
+            csf.nnz(),
             Slots::Refs(&refs),
             &mut ws,
             OutputMut::Sparse(&mut vals),
@@ -484,6 +604,9 @@ pub fn execute_forest(
             path,
             forest,
             csf,
+            csf.root_range(),
+            0,
+            csf.nnz(),
             Slots::Refs(&refs),
             &mut ws,
             OutputMut::Dense(&mut out),
@@ -545,6 +668,12 @@ struct Exec<'a> {
     path: &'a ContractionPath,
     forest: &'a LoopForest,
     csf: &'a Csf,
+    /// Root fibers this execution covers (the whole tree for the serial
+    /// path, one tile's subrange under parallel execution).
+    root_range: std::ops::Range<usize>,
+    /// First leaf of the covered root subtrees; sparse-output writes are
+    /// offset by this so a tile writes its disjoint slice.
+    leaf_lo: usize,
     /// Per kernel-input slot; the sparse slot holds an unread placeholder.
     factors: Slots<'a>,
     /// Per term; placeholder scalar for the final term.
@@ -557,8 +686,11 @@ struct Exec<'a> {
     nodes: &'a mut [Option<usize>],
     /// Dense output target (workspace scratch when the output is sparse).
     out_dense: &'a mut DenseTensor,
-    /// Sparse output values (empty when the output is dense).
+    /// Sparse output values (empty when the output is dense), covering
+    /// leaves `leaf_lo..leaf_lo + out_sparse.len()`.
     out_sparse: &'a mut [f64],
+    /// Per-execution microkernel dispatch counters (workspace-owned).
+    stats: &'a mut ExecStats,
 }
 
 impl<'a> Exec<'a> {
@@ -637,9 +769,11 @@ impl<'a> Exec<'a> {
 
     /// Node range a sparse loop at `level` iterates, under the current
     /// descent; `None` when the enclosing coordinates are off-pattern.
+    /// Level 0 is confined to the executed root range, so a tiled run
+    /// sees only its own subtrees.
     fn level_range(&self, level: usize) -> Option<std::ops::Range<usize>> {
         if level == 0 {
-            Some(self.csf.root_range())
+            Some(self.root_range.clone())
         } else {
             let parent = self.resolve_node(level - 1)?;
             Some(self.csf.children(level - 1, parent))
@@ -648,7 +782,9 @@ impl<'a> Exec<'a> {
 
     /// CSF node at `level` for the current coordinates: tracked nodes
     /// where an enclosing sparse loop set them, binary search where a
-    /// sparse mode was iterated densely.
+    /// sparse mode was iterated densely (confined to the executed root
+    /// range at level 0 — roots outside the tile contribute zero here,
+    /// and exactly once in the tile that owns them).
     fn resolve_node(&self, level: usize) -> Option<usize> {
         let mut node: Option<usize> = None;
         for l in 0..=level {
@@ -657,7 +793,7 @@ impl<'a> Exec<'a> {
                 continue;
             }
             let range = if l == 0 {
-                self.csf.root_range()
+                self.root_range.clone()
             } else {
                 self.csf.children(l - 1, node?)
             };
@@ -695,7 +831,7 @@ impl<'a> Exec<'a> {
         if t + 1 == self.path.len() {
             if self.kernel.output_sparse {
                 match self.resolve_node(self.csf.order() - 1) {
-                    Some(n) => self.out_sparse[n] += v,
+                    Some(n) => self.out_sparse[n - self.leaf_lo] += v,
                     // Off-pattern cell of a pattern-sharing output: the
                     // contribution is exactly zero by lineage pruning.
                     None => debug_assert_eq!(v, 0.0),
@@ -862,6 +998,7 @@ impl<'a> Exec<'a> {
                         blas::dot(n, x, ls, y, rs)
                     };
                     stats::bump(&stats::DOT);
+                    self.stats.dot += 1;
                     self.accumulate_cell(t, v);
                     Ok(true)
                 } else {
@@ -876,7 +1013,10 @@ impl<'a> Exec<'a> {
             } => {
                 let factors = self.factors;
                 let Exec {
-                    buffers, out_dense, ..
+                    buffers,
+                    out_dense,
+                    stats: run_stats,
+                    ..
                 } = self;
                 let (reads, tail) = buffers.split_at_mut(t);
                 let tgt: &mut [f64] = if out {
@@ -890,6 +1030,7 @@ impl<'a> Exec<'a> {
                         let x = slice_of(factors, reads, buf, base);
                         blas::axpy(n, c, x, s1, tgt, ts);
                         stats::bump(&stats::AXPY);
+                        run_stats.axpy += 1;
                         Ok(true)
                     }
                     (
@@ -910,6 +1051,7 @@ impl<'a> Exec<'a> {
                         let z = slice_of(factors, reads, rb, rbase);
                         blas::xmul(n, 1.0, x, ls, z, rs, tgt, ts);
                         stats::bump(&stats::XMUL);
+                        run_stats.xmul += 1;
                         Ok(true)
                     }
                     (SrcMeta::Const(_), SrcMeta::Const(_)) => Ok(false),
@@ -965,7 +1107,10 @@ impl<'a> Exec<'a> {
 
         let factors = self.factors;
         let Exec {
-            buffers, out_dense, ..
+            buffers,
+            out_dense,
+            stats: run_stats,
+            ..
         } = self;
         let (reads, tail) = buffers.split_at_mut(t);
         let tgt: &mut [f64] = if out {
@@ -981,6 +1126,7 @@ impl<'a> Exec<'a> {
                 let y = slice_of(factors, reads, rb, rbase);
                 blas::ger(m, n, 1.0, x, l1, y, r2, tgt, t1, t2);
                 stats::bump(&stats::GER);
+                run_stats.ger += 1;
                 return Ok(true);
             }
             if !lh1 && lh2 && rh1 && !rh2 {
@@ -988,6 +1134,7 @@ impl<'a> Exec<'a> {
                 let y = slice_of(factors, reads, lb, lbase);
                 blas::ger(m, n, 1.0, x, r1, y, l2, tgt, t1, t2);
                 stats::bump(&stats::GER);
+                run_stats.ger += 1;
                 return Ok(true);
             }
             return Ok(false);
@@ -999,6 +1146,7 @@ impl<'a> Exec<'a> {
                 let x = slice_of(factors, reads, rb, rbase);
                 blas::gemv(m, n, 1.0, a, l1, l2, x, r2, tgt, t1);
                 stats::bump(&stats::GEMV);
+                run_stats.gemv += 1;
                 return Ok(true);
             }
             if rh1 && rh2 && !lh1 && lh2 {
@@ -1006,6 +1154,7 @@ impl<'a> Exec<'a> {
                 let x = slice_of(factors, reads, lb, lbase);
                 blas::gemv(m, n, 1.0, a, r1, r2, x, l2, tgt, t1);
                 stats::bump(&stats::GEMV);
+                run_stats.gemv += 1;
                 return Ok(true);
             }
             return Ok(false);
@@ -1017,6 +1166,7 @@ impl<'a> Exec<'a> {
                 let x = slice_of(factors, reads, rb, rbase);
                 blas::gemv(n, m, 1.0, a, l2, l1, x, r1, tgt, t2);
                 stats::bump(&stats::GEMV);
+                run_stats.gemv += 1;
                 return Ok(true);
             }
             if rh1 && rh2 && lh1 && !lh2 {
@@ -1024,6 +1174,7 @@ impl<'a> Exec<'a> {
                 let x = slice_of(factors, reads, lb, lbase);
                 blas::gemv(n, m, 1.0, a, r2, r1, x, l1, tgt, t2);
                 stats::bump(&stats::GEMV);
+                run_stats.gemv += 1;
                 return Ok(true);
             }
             return Ok(false);

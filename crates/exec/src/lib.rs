@@ -14,15 +14,25 @@
 //! - [`execute_forest`]: one-shot convenience that allocates a fresh
 //!   workspace and output.
 //!
+//! The execution core is **tiled**: [`execute_forest_tile_into`] runs a
+//! nest over one [`spttn_tensor::CsfTile`] (a contiguous slice of root
+//! subtrees), and the [`parallel`] module fans tiles out across threads
+//! — [`ParallelExecutor`] keeps a persistent worker pool with one
+//! workspace and private output per thread so repeated executions stay
+//! allocation-free, and partial outputs combine through a deterministic
+//! tree reduction ([`tree_reduce_partials`]).
+//!
 //! A brute-force dense einsum oracle ([`naive_einsum`]) backs the
 //! correctness tests.
 
 pub mod blas;
 pub mod interp;
+pub mod parallel;
 pub mod reference;
 
 pub use interp::{
-    execute_forest, execute_forest_into, validate_operands, validate_slotted_operands,
-    ContractionOutput, OutputMut, Workspace,
+    execute_forest, execute_forest_into, execute_forest_tile_into, validate_operands,
+    validate_slotted_operands, ContractionOutput, ExecStats, OutputMut, Workspace,
 };
+pub use parallel::{execute_forest_parallel, tree_reduce_partials, ParallelExecutor};
 pub use reference::naive_einsum;

@@ -14,6 +14,76 @@
 
 use crate::coo::is_permutation;
 use crate::{CooTensor, TensorError};
+use std::ops::Range;
+
+/// A contiguous slice of a CSF tree: a subrange of root fibers together
+/// with the per-level node ranges (and leaf/value range) those roots
+/// span.
+///
+/// Because CSF stores the children of consecutive nodes consecutively,
+/// the subtrees hanging off a root subrange `[r0, r1)` occupy one
+/// contiguous node range at *every* level — a tile is pure metadata
+/// (one `Range` per level) over the unmodified tree. Tiles partition
+/// the tensor by complete root subtrees, which is exactly the unit of
+/// independent work the parallel executor fans out: the contraction is
+/// linear in the sparse tensor, so executing each tile separately and
+/// summing the partial outputs reproduces the full result.
+///
+/// Build tiles with [`Csf::partition`] (leaf-nnz-balanced),
+/// [`Csf::tile_of_roots`] (explicit root range), or [`Csf::full_tile`]
+/// (the whole tree, used by the serial path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsfTile {
+    /// `ranges[k]` is the node range this tile spans at tree level `k`;
+    /// `ranges[0]` is the root subrange and the last entry is the
+    /// leaf/value range.
+    ranges: Vec<Range<usize>>,
+}
+
+impl CsfTile {
+    /// Root-node subrange (level 0) of the tile.
+    #[inline]
+    pub fn root_range(&self) -> Range<usize> {
+        self.ranges[0].clone()
+    }
+
+    /// Node range the tile spans at tree level `k`.
+    #[inline]
+    pub fn level_range(&self, k: usize) -> Range<usize> {
+        self.ranges[k].clone()
+    }
+
+    /// Leaf/value range the tile spans (last level). Pattern-sharing
+    /// sparse outputs reduce across tiles by these disjoint ranges.
+    #[inline]
+    pub fn leaf_range(&self) -> Range<usize> {
+        self.ranges.last().expect("tiles span >= 1 level").clone()
+    }
+
+    /// Number of nonzeros (leaves) in the tile.
+    #[inline]
+    pub fn leaf_nnz(&self) -> usize {
+        self.leaf_range().len()
+    }
+
+    /// Number of root fibers in the tile.
+    #[inline]
+    pub fn num_roots(&self) -> usize {
+        self.root_range().len()
+    }
+
+    /// True when the tile covers no root fibers.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.root_range().is_empty()
+    }
+
+    /// Number of tree levels the tile describes.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.ranges.len()
+    }
+}
 
 /// One level of the CSF tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -203,40 +273,198 @@ impl Csf {
         &self.levels[k]
     }
 
+    /// The tile covering the entire tree (the serial execution path).
+    pub fn full_tile(&self) -> CsfTile {
+        let d = self.order().max(1);
+        CsfTile {
+            ranges: (0..d)
+                .map(|k| 0..self.levels.get(k).map_or(0, |l| l.idx.len()))
+                .collect(),
+        }
+    }
+
+    /// The tile spanned by a contiguous root-fiber range, with every
+    /// lower level's node range derived by following the child pointers
+    /// down from the range boundaries.
+    ///
+    /// # Panics
+    /// Panics if `roots` is out of bounds or reversed.
+    pub fn tile_of_roots(&self, roots: Range<usize>) -> CsfTile {
+        let n_roots = self.root_range().end;
+        assert!(
+            roots.start <= roots.end && roots.end <= n_roots,
+            "root range {roots:?} out of bounds for {n_roots} roots"
+        );
+        let d = self.order().max(1);
+        let mut ranges = Vec::with_capacity(d);
+        let (mut lo, mut hi) = (roots.start, roots.end);
+        ranges.push(lo..hi);
+        for k in 0..self.order().saturating_sub(1) {
+            lo = self.levels[k].ptr[lo];
+            hi = self.levels[k].ptr[hi];
+            ranges.push(lo..hi);
+        }
+        CsfTile { ranges }
+    }
+
+    /// Partition the tree into at most `n_tiles` tiles of complete root
+    /// subtrees, balanced by leaf nonzero count.
+    ///
+    /// Each tile boundary is the first root at or past the ideal
+    /// `t·nnz/n_tiles` leaf prefix, so a handful of heavy root fibers
+    /// cannot starve the other workers. Empty tiles are dropped, so the
+    /// result holds between 1 and `min(n_tiles, #roots)` tiles — except
+    /// for an empty tensor, where a single empty tile is returned. The
+    /// partition is deterministic: same tree + same `n_tiles` → same
+    /// tiles, which the parallel executor's reproducibility guarantee
+    /// builds on.
+    pub fn partition(&self, n_tiles: usize) -> Vec<CsfTile> {
+        let n_tiles = n_tiles.max(1);
+        let n_roots = self.root_range().end;
+        if n_roots == 0 {
+            return vec![self.full_tile()];
+        }
+        // leaf_start[r] = number of leaves in subtrees of roots [0, r):
+        // push the boundary array down through each level's pointers.
+        let mut leaf_start: Vec<usize> = (0..=n_roots).collect();
+        for k in 0..self.order().saturating_sub(1) {
+            for b in leaf_start.iter_mut() {
+                *b = self.levels[k].ptr[*b];
+            }
+        }
+        let total = self.nnz();
+        let mut tiles = Vec::with_capacity(n_tiles.min(n_roots));
+        let mut prev = 0usize;
+        for t in 1..=n_tiles {
+            let end = if t == n_tiles {
+                n_roots
+            } else {
+                // First root boundary at or past the ideal leaf prefix.
+                let target = (total as u128 * t as u128 / n_tiles as u128) as usize;
+                leaf_start.partition_point(|&s| s < target).min(n_roots)
+            };
+            if end > prev {
+                tiles.push(self.tile_of_roots(prev..end));
+                prev = end;
+            }
+        }
+        debug_assert_eq!(tiles.iter().map(CsfTile::leaf_nnz).sum::<usize>(), total);
+        tiles
+    }
+
     /// Reconstruct the COO representation (entries in tree order, with
     /// coordinates in *original* mode numbering).
     pub fn to_coo(&self) -> CooTensor {
-        let d = self.order();
         let mut out = CooTensor::new(&self.dims).expect("dims validated at construction");
-        let mut coord = vec![0usize; d];
-        self.walk_rec(0, self.root_range(), &mut coord, &mut out);
+        self.for_each_entry(|coord, v| {
+            out.push(coord, v).expect("in-bounds by construction");
+        });
         out
     }
 
-    fn walk_rec(
-        &self,
-        level: usize,
-        range: std::ops::Range<usize>,
-        coord: &mut Vec<usize>,
-        out: &mut CooTensor,
-    ) {
-        for node in range {
-            coord[self.mode_order[level]] = self.node_coord(level, node);
-            if level + 1 == self.order() {
-                let c = coord.clone();
-                out.push(&c, self.leaf_val(node))
-                    .expect("in-bounds by construction");
+    /// Visit every entry in leaf order as `(original-mode coordinates,
+    /// value)`, without materializing anything per entry — the
+    /// allocation-free counterpart of [`Csf::entries`].
+    pub fn for_each_entry(&self, mut f: impl FnMut(&[usize], f64)) {
+        let d = self.order();
+        if d == 0 || self.nnz() == 0 {
+            return;
+        }
+        let mut coord = vec![0usize; d];
+        let mut ranges: Vec<Range<usize>> = vec![0..0; d];
+        ranges[0] = self.root_range();
+        let mut k = 0usize;
+        loop {
+            if let Some(node) = next_in(&mut ranges[k]) {
+                coord[self.mode_order[k]] = self.node_coord(k, node);
+                if k + 1 == d {
+                    f(&coord, self.leaf_val(node));
+                } else {
+                    ranges[k + 1] = self.children(k, node);
+                    k += 1;
+                }
+            } else if k == 0 {
+                return;
             } else {
-                let ch = self.children(level, node);
-                self.walk_rec(level + 1, ch, coord, out);
+                k -= 1;
             }
         }
     }
 
-    /// A leaf-order iterator over `(original-mode coordinates, value)`.
+    /// A lazy leaf-order iterator over `(original-mode coordinates,
+    /// value)` pairs. Walks the tree with O(order) state instead of
+    /// materializing all `nnz · order` coordinates up front; each item
+    /// allocates only its own coordinate vector (use
+    /// [`Csf::for_each_entry`] to avoid even that).
+    pub fn entries(&self) -> CsfEntries<'_> {
+        let d = self.order();
+        let mut ranges: Vec<Range<usize>> = vec![0..0; d];
+        if d > 0 {
+            ranges[0] = self.root_range();
+        }
+        CsfEntries {
+            csf: self,
+            coord: vec![0usize; d],
+            ranges,
+            level: 0,
+        }
+    }
+
+    /// A leaf-order list of `(original-mode coordinates, value)`.
+    #[deprecated(since = "0.3.0", note = "use the lazy `entries()` iterator instead")]
     pub fn iter_entries(&self) -> Vec<(Vec<usize>, f64)> {
-        let coo = self.to_coo();
-        coo.iter().map(|(c, v)| (c.to_vec(), v)).collect()
+        self.entries().collect()
+    }
+}
+
+/// Pop the front of a range, advancing it.
+#[inline]
+fn next_in(r: &mut Range<usize>) -> Option<usize> {
+    if r.start < r.end {
+        let n = r.start;
+        r.start += 1;
+        Some(n)
+    } else {
+        None
+    }
+}
+
+/// Lazy leaf-order entry iterator over a CSF tree; see [`Csf::entries`].
+#[derive(Debug, Clone)]
+pub struct CsfEntries<'a> {
+    csf: &'a Csf,
+    /// Current coordinate per original mode (valid for ancestors of the
+    /// cursor).
+    coord: Vec<usize>,
+    /// Unvisited node range per level, valid for `0..=level`.
+    ranges: Vec<Range<usize>>,
+    /// Deepest level with a live range.
+    level: usize,
+}
+
+impl Iterator for CsfEntries<'_> {
+    type Item = (Vec<usize>, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let d = self.csf.order();
+        if d == 0 {
+            return None;
+        }
+        loop {
+            if let Some(node) = next_in(&mut self.ranges[self.level]) {
+                let k = self.level;
+                self.coord[self.csf.mode_order[k]] = self.csf.node_coord(k, node);
+                if k + 1 == d {
+                    return Some((self.coord.clone(), self.csf.leaf_val(node)));
+                }
+                self.ranges[k + 1] = self.csf.children(k, node);
+                self.level = k + 1;
+            } else if self.level == 0 {
+                return None;
+            } else {
+                self.level -= 1;
+            }
+        }
     }
 }
 
@@ -333,6 +561,119 @@ mod tests {
     fn bad_mode_order_rejected() {
         assert!(Csf::from_coo(&sample(), &[0, 1]).is_err());
         assert!(Csf::from_coo(&sample(), &[0, 0, 1]).is_err());
+    }
+
+    #[test]
+    fn entries_match_coo_lazily() {
+        let csf = Csf::from_coo(&sample(), &[0, 1, 2]).unwrap();
+        let coo = csf.to_coo();
+        let want: Vec<(Vec<usize>, f64)> = coo.iter().map(|(c, v)| (c.to_vec(), v)).collect();
+        let got: Vec<(Vec<usize>, f64)> = csf.entries().collect();
+        assert_eq!(got, want);
+        // Laziness: the first item is available without draining.
+        let mut it = csf.entries();
+        assert_eq!(it.next(), Some((vec![0, 0, 0], 1.0)));
+        // Permuted storage reports original-mode coordinates.
+        let csf = Csf::from_coo(&sample(), &[2, 0, 1]).unwrap();
+        let mut seen = 0usize;
+        csf.for_each_entry(|c, v| {
+            assert_eq!(sample().to_dense().get(c), v);
+            seen += 1;
+        });
+        assert_eq!(seen, 5);
+        #[allow(deprecated)]
+        let eager = csf.iter_entries();
+        assert_eq!(eager, csf.entries().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn full_tile_covers_everything() {
+        let csf = Csf::from_coo(&sample(), &[0, 1, 2]).unwrap();
+        let t = csf.full_tile();
+        assert_eq!(t.root_range(), 0..2);
+        assert_eq!(t.level_range(1), 0..4);
+        assert_eq!(t.leaf_range(), 0..5);
+        assert_eq!(t.leaf_nnz(), 5);
+        assert_eq!(t.depth(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn tile_of_roots_follows_pointers() {
+        let csf = Csf::from_coo(&sample(), &[0, 1, 2]).unwrap();
+        // Root 0 (i = 0) owns mids {(0,0),(0,1)} and leaves {0,1,2}.
+        let t0 = csf.tile_of_roots(0..1);
+        assert_eq!(t0.level_range(1), 0..2);
+        assert_eq!(t0.leaf_range(), 0..3);
+        // Root 1 (i = 2) owns the rest.
+        let t1 = csf.tile_of_roots(1..2);
+        assert_eq!(t1.level_range(1), 2..4);
+        assert_eq!(t1.leaf_range(), 3..5);
+        // Empty range is a valid empty tile.
+        assert!(csf.tile_of_roots(1..1).is_empty());
+    }
+
+    #[test]
+    fn partition_is_disjoint_and_exhaustive() {
+        let mut coo = CooTensor::new(&[40, 6, 6]).unwrap();
+        for e in 0..200usize {
+            coo.push(&[(e * 7) % 40, (e * 3) % 6, e % 6], e as f64)
+                .unwrap();
+        }
+        let csf = Csf::from_coo(&coo, &[0, 1, 2]).unwrap();
+        for n in [1, 2, 3, 4, 7, 64] {
+            let tiles = csf.partition(n);
+            assert!(!tiles.is_empty() && tiles.len() <= n.max(1));
+            // Consecutive, disjoint, exhaustive at every level.
+            for k in 0..csf.order() {
+                let mut pos = 0usize;
+                for t in &tiles {
+                    assert_eq!(t.level_range(k).start, pos, "gap at level {k}");
+                    pos = t.level_range(k).end;
+                }
+                assert_eq!(pos, csf.level_nnz(k));
+            }
+            assert_eq!(
+                tiles.iter().map(CsfTile::leaf_nnz).sum::<usize>(),
+                csf.nnz()
+            );
+            assert!(tiles.iter().all(|t| !t.is_empty()));
+            // Deterministic.
+            assert_eq!(tiles, csf.partition(n));
+        }
+    }
+
+    #[test]
+    fn partition_balances_leaf_nnz() {
+        // 16 roots with equal leaf counts split evenly.
+        let mut coo = CooTensor::new(&[16, 8, 8]).unwrap();
+        for i in 0..16usize {
+            for j in 0..8usize {
+                coo.push(&[i, j, (i + j) % 8], 1.0).unwrap();
+            }
+        }
+        let csf = Csf::from_coo(&coo, &[0, 1, 2]).unwrap();
+        let tiles = csf.partition(4);
+        assert_eq!(tiles.len(), 4);
+        for t in &tiles {
+            assert_eq!(t.leaf_nnz(), 32);
+            assert_eq!(t.num_roots(), 4);
+        }
+    }
+
+    #[test]
+    fn partition_degenerate_cases() {
+        // More tiles than roots: one tile per root, none empty.
+        let csf = Csf::from_coo(&sample(), &[0, 1, 2]).unwrap();
+        let tiles = csf.partition(7);
+        assert_eq!(tiles.len(), 2);
+        assert!(tiles.iter().all(|t| t.num_roots() == 1));
+        // Empty tensor: a single empty tile.
+        let empty = Csf::from_coo(&CooTensor::new(&[4, 4]).unwrap(), &[0, 1]).unwrap();
+        let tiles = empty.partition(4);
+        assert_eq!(tiles.len(), 1);
+        assert!(tiles[0].is_empty());
+        assert_eq!(tiles[0].leaf_nnz(), 0);
     }
 
     #[test]

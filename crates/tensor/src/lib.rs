@@ -14,6 +14,14 @@
 //! Sec. 2.2). Those per-level counts drive the planner's asymptotic cost
 //! model, so they are exposed both from concrete data ([`Csf::prefix_nnz`])
 //! and from the data-independent [`SparsityProfile`].
+//!
+//! For multicore execution the root level of a CSF tree can be split
+//! into contiguous tiles of complete root subtrees: [`CsfTile`] is the
+//! per-level range view of one such slice and [`Csf::partition`]
+//! produces a leaf-nnz-balanced tiling. Each tile is an independent
+//! unit of work (the contraction is linear in the sparse tensor), which
+//! is what the parallel executor in `spttn-exec` fans out across
+//! threads.
 
 pub mod coo;
 pub mod csf;
@@ -22,7 +30,7 @@ pub mod gen;
 pub mod profile;
 
 pub use coo::CooTensor;
-pub use csf::{Csf, CsfLevel};
+pub use csf::{Csf, CsfEntries, CsfLevel, CsfTile};
 pub use dense::DenseTensor;
 pub use gen::{frostt_like, random_coo, random_dense, random_vec, skewed_coo, FrosttPreset};
 pub use profile::SparsityProfile;

@@ -67,6 +67,53 @@ pub enum CostModel {
     },
 }
 
+/// Thread-count selection for parallel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Threads {
+    /// One thread per available hardware core
+    /// ([`std::thread::available_parallelism`], falling back to 1).
+    Auto,
+    /// Exactly `n` threads; `N(1)` (or `N(0)`) is the serial path,
+    /// byte-identical to a plan executed without parallelism.
+    N(usize),
+}
+
+impl Threads {
+    /// Resolve to a concrete thread count (≥ 1).
+    pub fn resolve(self) -> usize {
+        match self {
+            Threads::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Threads::N(n) => n.max(1),
+        }
+    }
+}
+
+/// Execution-stage options, carried by a [`Plan`] into [`Plan::bind`].
+///
+/// With more than one thread, binding partitions the CSF root level
+/// into leaf-balanced tiles and the executor fans them out over a
+/// persistent worker pool with one preallocated workspace and private
+/// output per thread; partial outputs combine through a deterministic
+/// tree reduction, so results are bit-reproducible run to run at a
+/// fixed thread count (and within ≤1e-9 of the serial path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExecOptions {
+    /// Threads the bound executor runs on.
+    pub threads: Threads,
+}
+
+impl Default for ExecOptions {
+    /// Serial execution — parallelism is opt-in, keeping default plans
+    /// byte-identical to previous releases.
+    fn default() -> Self {
+        ExecOptions {
+            threads: Threads::N(1),
+        }
+    }
+}
+
 /// Options for [`Contraction::plan`].
 #[derive(Debug, Clone)]
 pub struct PlanOptions {
@@ -78,6 +125,10 @@ pub struct PlanOptions {
     pub max_tiers: usize,
     /// Paths within this factor of the tier leader share the tier.
     pub tier_slack: f64,
+    /// Execution-stage options the plan carries into [`Plan::bind`].
+    /// Not part of [`crate::PlanKey`]: the symbolic plan is identical
+    /// for every thread count.
+    pub exec: ExecOptions,
 }
 
 impl Default for PlanOptions {
@@ -89,6 +140,7 @@ impl Default for PlanOptions {
             max_paths_per_tier: 64,
             max_tiers: 16,
             tier_slack: 1.0,
+            exec: ExecOptions::default(),
         }
     }
 }
@@ -100,6 +152,12 @@ impl PlanOptions {
             cost_model,
             ..Default::default()
         }
+    }
+
+    /// Set the execution thread count (builder style).
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.exec.threads = threads;
+        self
     }
 
     fn search(&self) -> spttn_cost::PlanOptions {
@@ -316,7 +374,13 @@ impl Contraction {
         let (kernel, csf, factors, accumulate) = self.take_operands()?;
         let profile = SparsityProfile::from_csf(&csf);
         let plan = cache.plan_from_parts(kernel, profile, accumulate, opts)?;
-        plan.bind_ordered(csf, factors)
+        // A cached plan may have been built under different exec
+        // options; the symbolic nest is thread-count-independent, so
+        // apply the caller's current ones at bind time.
+        (*plan)
+            .clone()
+            .with_exec(opts.exec)
+            .into_executor(csf, factors)
     }
 
     /// Resolve the validated kernel for symbolic planning: a pre-built
@@ -462,6 +526,7 @@ pub struct Plan {
     pub(crate) buffers: Vec<BufferSpec>,
     pub(crate) accumulate: bool,
     pub(crate) profile: SparsityProfile,
+    pub(crate) exec: ExecOptions,
     /// Leading-order scalar-operation count of the chosen path.
     pub flops: u128,
     /// Asymptotic-cost tier the path came from (0 = optimal).
@@ -489,10 +554,31 @@ impl Plan {
             buffers,
             accumulate,
             profile,
+            exec: opts.exec,
             flops: planned.flops,
             tier: planned.tier,
             cost: planned.cost,
         })
+    }
+
+    /// Replace the execution options this plan carries into
+    /// [`Plan::bind`] (builder style). The symbolic nest is untouched —
+    /// the same plan can be bound serially and in parallel.
+    pub fn with_exec(mut self, exec: ExecOptions) -> Plan {
+        self.exec = exec;
+        self
+    }
+
+    /// The execution options [`Plan::bind`] will apply.
+    pub fn exec(&self) -> ExecOptions {
+        self.exec
+    }
+
+    /// Preallocated workspace elements needed to execute this plan at
+    /// `threads` parallel workers (each worker replicates every Eq.-5
+    /// buffer).
+    pub fn parallel_footprint(&self, threads: usize) -> u128 {
+        spttn_ir::tiled_workspace_footprint(&self.buffers, threads)
     }
 
     /// The validated kernel.

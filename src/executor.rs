@@ -10,11 +10,23 @@
 //! values into the existing allocations, which is exactly the shape of
 //! an ALS / HOOI sweep: plan once, rebind factors each iteration,
 //! execute.
+//!
+//! When the plan's [`crate::ExecOptions`] resolve to more than one
+//! thread, binding also partitions the CSF root level into
+//! leaf-balanced tiles and builds a
+//! [`ParallelExecutor`] — a persistent worker pool
+//! with one workspace and private output per thread. The allocation
+//! contract is unchanged (fan-out reuses preallocated job slots and
+//! buffers), results stay within ≤1e-9 of the serial path, and a fixed
+//! thread count is bit-reproducible run to run thanks to the
+//! deterministic tile order and tree reduction. `threads = 1` skips all
+//! of this and is byte-identical to previous serial behavior.
 
 use crate::contraction::Plan;
 use crate::{Result, SpttnError};
 use spttn_exec::{
-    execute_forest_into, validate_slotted_operands, ContractionOutput, OutputMut, Workspace,
+    execute_forest_into, validate_slotted_operands, ContractionOutput, ExecStats, OutputMut,
+    ParallelExecutor, Workspace,
 };
 use spttn_tensor::{CooTensor, Csf, DenseTensor};
 use std::collections::HashMap;
@@ -95,11 +107,56 @@ pub struct Executor {
     /// Input slots each factor name fills (for [`Executor::set_factor`]).
     slots_by_name: HashMap<String, Vec<usize>>,
     workspace: Workspace,
+    /// Tiled multi-threaded engine (worker pool + per-thread workspaces
+    /// and partial outputs), present when the plan's [`crate::ExecOptions`]
+    /// resolve to more than one thread *and* the tensor splits into more
+    /// than one tile. `None` means the serial path, byte-identical to a
+    /// single-threaded bind.
+    par: Option<ParallelExecutor>,
+    /// Microkernel dispatch counters of the most recent execution,
+    /// aggregated across threads.
+    last_stats: ExecStats,
     /// Internal output storage for [`Executor::execute`].
     out_dense: DenseTensor,
     out_vals: Vec<f64>,
     /// Coordinate template for materializing pattern-sharing outputs.
     coo_template: Option<CooTensor>,
+}
+
+/// Run a bound plan into a pre-validated output target, choosing the
+/// parallel or serial engine, and record the run's aggregated stats.
+/// Free function over the executor's split fields so both `execute`
+/// and `execute_into` can call it under their own borrows.
+fn run_parts(
+    plan: &Plan,
+    csf: &Csf,
+    factors: &[DenseTensor],
+    workspace: &mut Workspace,
+    par: &mut Option<ParallelExecutor>,
+    last_stats: &mut ExecStats,
+    out: OutputMut<'_>,
+) -> Result<()> {
+    let res = match par.as_mut() {
+        Some(engine) => {
+            engine.execute_into(&plan.kernel, &plan.path, &plan.forest, csf, factors, out)
+        }
+        None => execute_forest_into(
+            &plan.kernel,
+            &plan.path,
+            &plan.forest,
+            csf,
+            factors,
+            workspace,
+            out,
+        ),
+    };
+    if res.is_ok() {
+        *last_stats = match par.as_ref() {
+            Some(engine) => engine.stats(),
+            None => workspace.stats(),
+        };
+    }
+    res
 }
 
 impl Executor {
@@ -125,7 +182,31 @@ impl Executor {
         }
         validate_slotted_operands(kernel, &csf, &factors)?;
 
-        let workspace = Workspace::from_specs(kernel, &plan.path, &plan.forest, &plan.buffers);
+        // Parallel engine: only when the plan asks for >1 thread and the
+        // tensor actually splits (a single tile would duplicate the
+        // serial path with extra copies).
+        let threads = plan.exec.threads.resolve();
+        let par = if threads > 1 {
+            let engine = ParallelExecutor::new(
+                kernel,
+                &plan.path,
+                &plan.forest,
+                &plan.buffers,
+                &csf,
+                threads,
+            );
+            (engine.n_tiles() > 1).then_some(engine)
+        } else {
+            None
+        };
+        // The serial workspace backs only the `par == None` path; when
+        // the engine owns per-thread workspaces, keep a spec-free
+        // placeholder instead of a dead replica of every Eq.-5 buffer.
+        let workspace = if par.is_some() {
+            Workspace::from_specs(kernel, &plan.path, &plan.forest, &[])
+        } else {
+            Workspace::from_specs(kernel, &plan.path, &plan.forest, &plan.buffers)
+        };
         let (out_dense, out_vals, coo_template) = if kernel.output_sparse {
             (
                 DenseTensor::zeros(&[]),
@@ -146,6 +227,8 @@ impl Executor {
             factors,
             slots_by_name,
             workspace,
+            par,
+            last_stats: ExecStats::default(),
             out_dense,
             out_vals,
             coo_template,
@@ -163,9 +246,30 @@ impl Executor {
     }
 
     /// The preallocated workspace (exposed so callers can assert buffer
-    /// stability across executions).
+    /// stability across executions). Under parallel execution this is a
+    /// spec-free placeholder — see [`Executor::parallel`] for the
+    /// per-thread workspaces that actually run.
     pub fn workspace(&self) -> &Workspace {
         &self.workspace
+    }
+
+    /// The tiled parallel engine, when this executor runs multi-threaded
+    /// (plan bound with >1 thread and a tensor that splits into >1 tile).
+    pub fn parallel(&self) -> Option<&ParallelExecutor> {
+        self.par.as_ref()
+    }
+
+    /// Number of threads executions actually use: the parallel engine's
+    /// tile count, or 1 on the serial path.
+    pub fn threads(&self) -> usize {
+        self.par.as_ref().map_or(1, ParallelExecutor::n_tiles)
+    }
+
+    /// Microkernel dispatch counters of the most recent
+    /// [`Executor::execute`] / [`Executor::execute_into`], aggregated
+    /// across all executing threads. Zeros before the first execution.
+    pub fn last_stats(&self) -> ExecStats {
+        self.last_stats
     }
 
     /// The first bound tensor for a factor name, if any.
@@ -197,6 +301,8 @@ impl Executor {
             csf,
             factors,
             workspace,
+            par,
+            last_stats,
             coo_template,
             ..
         } = self;
@@ -214,13 +320,13 @@ impl Executor {
                 if fits && !plan.accumulate {
                     d.fill_zero();
                 }
-                execute_forest_into(
-                    &plan.kernel,
-                    &plan.path,
-                    &plan.forest,
+                run_parts(
+                    plan,
                     csf,
                     factors,
                     workspace,
+                    par,
+                    last_stats,
                     OutputMut::Dense(d),
                 )
             }
@@ -249,13 +355,13 @@ impl Executor {
                 if fits && !plan.accumulate {
                     c.vals_mut().fill(0.0);
                 }
-                execute_forest_into(
-                    &plan.kernel,
-                    &plan.path,
-                    &plan.forest,
+                run_parts(
+                    plan,
                     csf,
                     factors,
                     workspace,
+                    par,
+                    last_stats,
                     OutputMut::Sparse(c.vals_mut()),
                 )
             }
@@ -271,19 +377,21 @@ impl Executor {
             csf,
             factors,
             workspace,
+            par,
+            last_stats,
             out_dense,
             out_vals,
             ..
         } = self;
         if plan.kernel.output_sparse {
             out_vals.fill(0.0);
-            execute_forest_into(
-                &plan.kernel,
-                &plan.path,
-                &plan.forest,
+            run_parts(
+                plan,
                 csf,
                 factors,
                 workspace,
+                par,
+                last_stats,
                 OutputMut::Sparse(out_vals),
             )?;
             let coo = self
@@ -294,13 +402,13 @@ impl Executor {
             Ok(ContractionOutput::Sparse(coo))
         } else {
             out_dense.fill_zero();
-            execute_forest_into(
-                &plan.kernel,
-                &plan.path,
-                &plan.forest,
+            run_parts(
+                plan,
                 csf,
                 factors,
                 workspace,
+                par,
+                last_stats,
                 OutputMut::Dense(out_dense),
             )?;
             Ok(ContractionOutput::Dense(self.out_dense.clone()))

@@ -6,10 +6,20 @@ use rand::prelude::*;
 use spttn::ir::stdkernels;
 use spttn::ir::Kernel;
 use spttn::tensor::{random_coo, random_dense, CooTensor, Csf, DenseTensor};
-use spttn::{Contraction, ContractionOutput, CostModel, PlanOptions};
+use spttn::{Contraction, ContractionOutput, CostModel, PlanOptions, Threads};
 use spttn_exec::naive_einsum;
 
 const TOL: f64 = 1e-9;
+
+/// Thread count for end-to-end executions: CI runs this suite at
+/// `SPTTN_TEST_THREADS=1` and `=4` so the serial and parallel engines
+/// both stay green.
+fn test_threads() -> Threads {
+    match std::env::var("SPTTN_TEST_THREADS") {
+        Ok(v) => Threads::N(v.parse().expect("SPTTN_TEST_THREADS must be an integer")),
+        Err(_) => Threads::N(1),
+    }
+}
 
 const ALL_MODELS: [CostModel; 4] = [
     CostModel::MaxBufferDim,
@@ -62,7 +72,7 @@ fn check_kernel(kernel: &Kernel, nnz: usize, seed: u64, model: CostModel) {
         c = c.with_factor(name, t.clone());
     }
     let mut exec = c
-        .compile(PlanOptions::with_cost_model(model))
+        .compile(PlanOptions::with_cost_model(model).with_threads(test_threads()))
         .unwrap_or_else(|e| panic!("planning failed for {model:?}: {e}"));
     let got = exec.execute().unwrap();
     assert!(
@@ -113,7 +123,9 @@ fn tttp_golden_sparse_output() {
         c = c.with_factor(name, t.clone());
     }
     let mut exec = c
-        .compile(PlanOptions::with_cost_model(CostModel::MaxBufferSize))
+        .compile(
+            PlanOptions::with_cost_model(CostModel::MaxBufferSize).with_threads(test_threads()),
+        )
         .unwrap();
     let got = exec.execute().unwrap();
     let ContractionOutput::Sparse(out) = &got else {
@@ -143,7 +155,7 @@ fn parsed_mttkrp_matches_reference() {
         .with_sparse_input(csf)
         .with_factor("A", a.clone())
         .with_factor("B", b.clone())
-        .compile(PlanOptions::default())
+        .compile(PlanOptions::default().with_threads(test_threads()))
         .unwrap();
     let got = exec.execute().unwrap();
 
@@ -171,7 +183,10 @@ fn parsed_ttmc_matches_reference() {
         .with_sparse_input(csf)
         .with_factor("U", u.clone())
         .with_factor("V", v.clone())
-        .compile(PlanOptions::with_cost_model(CostModel::CacheMiss { d: 1 }))
+        .compile(
+            PlanOptions::with_cost_model(CostModel::CacheMiss { d: 1 })
+                .with_threads(test_threads()),
+        )
         .unwrap();
     let got = exec.execute().unwrap();
 

@@ -7,7 +7,7 @@
 
 use rand::prelude::*;
 use spttn::tensor::{random_coo, random_dense, Csf, SparsityProfile};
-use spttn::{Contraction, CostModel, PlanOptions, Shapes};
+use spttn::{Contraction, CostModel, PlanOptions, Shapes, Threads};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -102,5 +102,45 @@ fn execute_into_performs_zero_heap_allocations() {
         after - before,
         0,
         "sparse-output execute_into allocated on the heap"
+    );
+
+    // Parallel path: the persistent worker pool, per-thread workspaces,
+    // and private partials are all preallocated at bind, so the tiled
+    // fan-out + tree reduction must also run allocation-free. The
+    // counter is process-global, so worker-thread allocations (if any)
+    // are counted too.
+    let a3 = random_dense(&[16, 6], &mut rng);
+    let b3 = random_dense(&[18, 6], &mut rng);
+    let coo = random_coo(&[20, 16, 18], 400, &mut rng).unwrap();
+    let csf = Csf::from_coo(&coo, &[0, 1, 2]).unwrap();
+    let plan = Contraction::parse("T[i,j,k]*A[j,r]*B[k,r]->O[i,r]")
+        .unwrap()
+        .plan(
+            &Shapes::new()
+                .with_dims(&[("i", 20), ("j", 16), ("k", 18), ("r", 6)])
+                .with_profile(SparsityProfile::from_csf(&csf)),
+            &PlanOptions::with_cost_model(CostModel::BlasAware {
+                buffer_dim_bound: 2,
+            })
+            .with_threads(Threads::N(4)),
+        )
+        .unwrap();
+    let mut exec = plan.bind(csf, &[("A", &a3), ("B", &b3)]).unwrap();
+    assert!(exec.threads() > 1, "parallel engine should engage");
+    let mut out = exec.output_template();
+
+    // Warm-up: first run lets lazy thread-local/park state initialize.
+    exec.execute_into(&mut out).unwrap();
+    exec.execute_into(&mut out).unwrap();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..3 {
+        exec.execute_into(&mut out).unwrap();
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "threaded execute_into allocated on the heap"
     );
 }

@@ -8,9 +8,19 @@
 use rand::prelude::*;
 use spttn::ir::{stdkernels, Kernel};
 use spttn::tensor::{random_coo, random_dense, Csf, DenseTensor, SparsityProfile};
-use spttn::{Contraction, ContractionOutput, CostModel, PlanCache, PlanOptions, Shapes};
+use spttn::{Contraction, ContractionOutput, CostModel, PlanCache, PlanOptions, Shapes, Threads};
 
 const TOL: f64 = 1e-9;
+
+/// Thread count for end-to-end executions: CI runs this suite at
+/// `SPTTN_TEST_THREADS=1` and `=4` so the serial and parallel engines
+/// both stay green.
+fn test_threads() -> Threads {
+    match std::env::var("SPTTN_TEST_THREADS") {
+        Ok(v) => Threads::N(v.parse().expect("SPTTN_TEST_THREADS must be an integer")),
+        Err(_) => Threads::N(1),
+    }
+}
 
 /// Random dense factors for every non-sparse input slot, as
 /// `(name, tensor)` pairs in input order.
@@ -33,7 +43,9 @@ fn fresh_pipeline(kernel: &Kernel, csf: Csf, factors: &[(String, DenseTensor)]) 
         c = c.with_factor(name, t.clone());
     }
     let mut exec = c
-        .compile(PlanOptions::with_cost_model(CostModel::MaxBufferSize))
+        .compile(
+            PlanOptions::with_cost_model(CostModel::MaxBufferSize).with_threads(test_threads()),
+        )
         .unwrap();
     exec.execute().unwrap().to_dense()
 }
@@ -54,7 +66,7 @@ fn check_reuse(kernel: &Kernel, nnz: usize, seed: u64) {
     let plan = Contraction::from_kernel(kernel.clone())
         .plan(
             &Shapes::new().with_profile(SparsityProfile::from_csf(&csf)),
-            &PlanOptions::with_cost_model(CostModel::MaxBufferSize),
+            &PlanOptions::with_cost_model(CostModel::MaxBufferSize).with_threads(test_threads()),
         )
         .unwrap();
 
@@ -350,7 +362,7 @@ fn tttp_reused_executor_keeps_sparse_output_pattern() {
     let plan = Contraction::from_kernel(k.clone())
         .plan(
             &Shapes::new().with_profile(SparsityProfile::from_csf(&csf)),
-            &PlanOptions::with_cost_model(CostModel::MaxBufferSize),
+            &PlanOptions::with_cost_model(CostModel::MaxBufferSize).with_threads(test_threads()),
         )
         .unwrap();
     let mut exec = plan.bind(csf.clone(), &refs).unwrap();
@@ -398,7 +410,7 @@ fn execute_into_rejects_foreign_sparse_pattern() {
     let mut exec = Contraction::from_kernel(k)
         .plan(
             &Shapes::new().with_profile(SparsityProfile::from_csf(&csf)),
-            &PlanOptions::with_cost_model(CostModel::MaxBufferSize),
+            &PlanOptions::with_cost_model(CostModel::MaxBufferSize).with_threads(test_threads()),
         )
         .unwrap()
         .bind(csf.clone(), &refs)
