@@ -1,0 +1,466 @@
+//! `spttn` — end-to-end command-line driver for the SpTTN pipeline.
+//!
+//! Runs the whole stack on real data: parse an einsum-style contraction,
+//! ingest a FROSTT `.tns` or MatrixMarket `.mtx` sparse tensor, plan
+//! under a selectable cost model and CSF mode-order policy, bind with
+//! seeded random dense factors, execute (serially or on the tiled
+//! parallel engine), and report plan and execution statistics — with an
+//! optional naive-oracle check.
+//!
+//! ```text
+//! spttn run "A(i,a) = T(i,j,k) * B(j,a) * C(k,a)" --tns tensor.tns \
+//!     --rank 16 --threads 4 --cost-model blas-aware --mode-order auto --check
+//! spttn plan "A(i,a) = T(i,j,k) * B(j,a) * C(k,a)" --dims 1000x800x900 \
+//!     --nnz 50000 --rank 16 --mode-order auto
+//! ```
+//!
+//! Exit codes: 0 success, 1 usage or pipeline error, 2 oracle mismatch.
+
+use rand::prelude::*;
+use spttn::exec::naive_einsum;
+use spttn::tensor::{load_coo, random_dense, read_tns, CooTensor, Csf, DenseTensor};
+use spttn::{
+    Contraction, ContractionOutput, CostModel, ModeOrderPolicy, Plan, PlanOptions, Shapes, Threads,
+};
+use std::time::Instant;
+
+const CHECK_TOL: f64 = 1e-9;
+
+fn usage() -> ! {
+    eprintln!(
+        "spttn — minimum-cost loop nests for sparse tensor network contraction
+
+USAGE:
+    spttn run  <EXPR> (--tns FILE | --mtx FILE) [OPTIONS]
+    spttn plan <EXPR> (--tns FILE | --mtx FILE | --dims DxDxD --nnz N) [OPTIONS]
+
+EXPR uses either syntax, first right-hand-side tensor sparse:
+    \"A(i,a) = T(i,j,k) * B(j,a) * C(k,a)\"   or   \"T[i,j,k]*B[j,a]*C[k,a]->A[i,a]\"
+
+INPUT:
+    --tns FILE            FROSTT text tensor (1-based coords, '#' comments)
+    --mtx FILE            MatrixMarket coordinate matrix
+    --dims D1xD2x...      declare sparse dims (validates .tns; enables file-less plan)
+    --nnz N               model nonzero count (plan without a file)
+
+OPTIONS:
+    --rank N              dimension for every index not on the sparse tensor [16]
+    --dim name=N          dimension for one index (overrides --rank)
+    --threads N           execution threads [1]
+    --cost-model M        blas-aware[:BOUND] | max-buffer-dim | max-buffer-size |
+                          cache-miss[:D]    [blas-aware:2]
+    --mode-order P        natural | auto | L0,L1,... (written positions) [natural]
+    --seed S              seed for the random dense factors [42]
+    --repeat K            execute K times, report best wall time [1]
+    --check               compare against the naive dense oracle (exit 2 on mismatch)
+    -h, --help            this text"
+    );
+    std::process::exit(1)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1)
+}
+
+#[derive(Debug)]
+struct Args {
+    cmd: String,
+    expr: String,
+    tns: Option<String>,
+    mtx: Option<String>,
+    dims: Option<Vec<usize>>,
+    nnz: Option<u64>,
+    rank: usize,
+    dim_overrides: Vec<(String, usize)>,
+    threads: usize,
+    cost_model: CostModel,
+    mode_order: ModeOrderPolicy,
+    seed: u64,
+    repeat: usize,
+    check: bool,
+}
+
+fn parse_cost_model(s: &str) -> CostModel {
+    let (name, param) = match s.split_once(':') {
+        Some((n, p)) => (n, Some(p)),
+        None => (s, None),
+    };
+    let num = |p: Option<&str>, default: usize| -> usize {
+        match p {
+            None => default,
+            Some(p) => p
+                .parse()
+                .unwrap_or_else(|_| fail(format!("bad cost-model parameter '{p}'"))),
+        }
+    };
+    match name {
+        "blas-aware" => CostModel::BlasAware {
+            buffer_dim_bound: num(param, 2),
+        },
+        "max-buffer-dim" => CostModel::MaxBufferDim,
+        "max-buffer-size" => CostModel::MaxBufferSize,
+        "cache-miss" => CostModel::CacheMiss { d: num(param, 1) },
+        other => fail(format!(
+            "unknown cost model '{other}' (blas-aware, max-buffer-dim, max-buffer-size, cache-miss)"
+        )),
+    }
+}
+
+fn parse_mode_order(s: &str) -> ModeOrderPolicy {
+    match s {
+        "natural" => ModeOrderPolicy::Natural,
+        "auto" => ModeOrderPolicy::Auto,
+        list => {
+            let order: Vec<usize> = list
+                .split(',')
+                .map(|f| {
+                    f.trim()
+                        .parse()
+                        .unwrap_or_else(|_| fail(format!("bad mode-order position '{f}'")))
+                })
+                .collect();
+            ModeOrderPolicy::Fixed(order)
+        }
+    }
+}
+
+fn parse_dims(s: &str) -> Vec<usize> {
+    s.split(['x', 'X'])
+        .map(|f| {
+            f.trim()
+                .parse()
+                .unwrap_or_else(|_| fail(format!("bad dimension '{f}' in '{s}'")))
+        })
+        .collect()
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else { usage() };
+    if cmd == "-h" || cmd == "--help" || cmd == "help" {
+        usage();
+    }
+    if cmd != "run" && cmd != "plan" {
+        fail(format!(
+            "unknown command '{cmd}' (expected 'run' or 'plan')"
+        ));
+    }
+    let Some(expr) = argv.next() else {
+        fail("missing contraction expression")
+    };
+    let mut args = Args {
+        cmd,
+        expr,
+        tns: None,
+        mtx: None,
+        dims: None,
+        nnz: None,
+        rank: 16,
+        dim_overrides: Vec::new(),
+        threads: 1,
+        cost_model: CostModel::BlasAware {
+            buffer_dim_bound: 2,
+        },
+        mode_order: ModeOrderPolicy::Natural,
+        seed: 42,
+        repeat: 1,
+        check: false,
+    };
+    let value = |argv: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        argv.next()
+            .unwrap_or_else(|| fail(format!("{flag} needs a value")))
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--tns" => args.tns = Some(value(&mut argv, "--tns")),
+            "--mtx" => args.mtx = Some(value(&mut argv, "--mtx")),
+            "--dims" => args.dims = Some(parse_dims(&value(&mut argv, "--dims"))),
+            "--nnz" => {
+                args.nnz = Some(
+                    value(&mut argv, "--nnz")
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --nnz value")),
+                )
+            }
+            "--rank" => {
+                args.rank = value(&mut argv, "--rank")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --rank value"))
+            }
+            "--dim" => {
+                let v = value(&mut argv, "--dim");
+                let (name, d) = v
+                    .split_once('=')
+                    .unwrap_or_else(|| fail(format!("--dim expects name=N, got '{v}'")));
+                let d = d
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("bad dimension in --dim {v}")));
+                args.dim_overrides.push((name.trim().to_string(), d));
+            }
+            "--threads" => {
+                args.threads = value(&mut argv, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --threads value"))
+            }
+            "--cost-model" => args.cost_model = parse_cost_model(&value(&mut argv, "--cost-model")),
+            "--mode-order" => args.mode_order = parse_mode_order(&value(&mut argv, "--mode-order")),
+            "--seed" => {
+                args.seed = value(&mut argv, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --seed value"))
+            }
+            "--repeat" => {
+                args.repeat = value(&mut argv, "--repeat")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| fail("bad --repeat value"))
+                    .max(1)
+            }
+            "--check" => args.check = true,
+            "-h" | "--help" => usage(),
+            other => fail(format!("unknown flag '{other}'")),
+        }
+    }
+    args
+}
+
+/// Load the sparse input as COO, or `None` for file-less planning.
+fn load_input(args: &Args) -> Option<CooTensor> {
+    let coo = match (&args.tns, &args.mtx) {
+        (Some(_), Some(_)) => fail("pass --tns or --mtx, not both"),
+        (Some(path), None) => match &args.dims {
+            // Declared dims validate the file's coordinates.
+            Some(dims) => {
+                let file = std::fs::File::open(path)
+                    .unwrap_or_else(|e| fail(format!("cannot open '{path}': {e}")));
+                read_tns(std::io::BufReader::new(file), Some(dims))
+                    .unwrap_or_else(|e| fail(format!("reading '{path}': {e}")))
+            }
+            None => load_coo(path).unwrap_or_else(|e| fail(format!("reading '{path}': {e}"))),
+        },
+        (None, Some(path)) => {
+            load_coo(path).unwrap_or_else(|e| fail(format!("reading '{path}': {e}")))
+        }
+        (None, None) => return None,
+    };
+    Some(coo)
+}
+
+/// Assemble the symbolic shapes: sparse dims from the ingested tensor
+/// (or --dims), dense-only dims from --rank/--dim, sparsity from the
+/// pattern (or --nnz).
+fn build_shapes(args: &Args, contraction: &Contraction, coo: Option<&CooTensor>) -> Shapes {
+    let sparse_names = contraction
+        .sparse_index_names()
+        .unwrap_or_else(|| fail("expression has no sparse input"));
+    let sparse_dims: Vec<usize> = match coo {
+        Some(c) => c.dims().to_vec(),
+        None => args.dims.clone().unwrap_or_else(|| {
+            fail("no sparse input: pass --tns/--mtx, or --dims with --nnz for file-less planning")
+        }),
+    };
+    if sparse_dims.len() != sparse_names.len() {
+        fail(format!(
+            "sparse tensor has {} modes but '{}' is written with {} indices",
+            sparse_dims.len(),
+            args.expr,
+            sparse_names.len()
+        ));
+    }
+    let mut shapes = Shapes::new();
+    for (name, &dim) in sparse_names.iter().zip(&sparse_dims) {
+        shapes = shapes.with_dim(name, dim);
+    }
+    for name in contraction.all_index_names() {
+        if !sparse_names.contains(&name) {
+            shapes = shapes.with_dim(&name, args.rank);
+        }
+    }
+    for (name, dim) in &args.dim_overrides {
+        shapes = shapes.with_dim(name, *dim);
+    }
+    match (coo, args.nnz) {
+        (Some(c), _) => shapes.with_pattern(c.clone()),
+        (None, Some(nnz)) => shapes.with_nnz(nnz),
+        (None, None) => fail("file-less planning needs --nnz"),
+    }
+}
+
+fn print_plan(plan: &Plan) {
+    print!("{}", plan.describe());
+    if plan.order_costs().len() > 1 {
+        println!(
+            "mode-order search ({} candidates):",
+            plan.order_costs().len()
+        );
+        let natural = plan.natural_kernel();
+        let names: Vec<&str> = natural
+            .csf_index_order()
+            .iter()
+            .map(|&i| natural.index_name(i))
+            .collect();
+        for oc in plan.order_costs() {
+            let as_names: Vec<&str> = oc.order.iter().map(|&p| names[p]).collect();
+            let marker = if oc.order == plan.mode_order() {
+                " <- chosen"
+            } else {
+                ""
+            };
+            match oc.flops {
+                Some(f) => println!(
+                    "  ({}): ~{f} flops, cost {}{marker}",
+                    as_names.join(","),
+                    oc.cost
+                ),
+                None => println!("  ({}): infeasible", as_names.join(",")),
+            }
+        }
+    }
+    println!(
+        "modeled: ~{} flops (tier {}, cost {})",
+        plan.flops, plan.tier, plan.cost
+    );
+}
+
+fn check_against_oracle(
+    plan: &Plan,
+    coo: &CooTensor,
+    factors: &[(String, DenseTensor)],
+    got: &ContractionOutput,
+) -> f64 {
+    // The oracle contracts written-order dense operands, so use the
+    // kernel with the storage permutation undone.
+    let kernel = plan.natural_kernel();
+    let sparse_dense = coo.to_dense();
+    let mut slots: Vec<&DenseTensor> = Vec::new();
+    let mut next = 0usize;
+    for slot in 0..kernel.inputs.len() {
+        if slot == kernel.sparse_input {
+            slots.push(&sparse_dense);
+        } else {
+            // Factors are generated per input slot below, in order.
+            slots.push(&factors[next].1);
+            next += 1;
+        }
+    }
+    let want = naive_einsum(&kernel, &slots).unwrap_or_else(|e| fail(format!("oracle: {e}")));
+    let got_dense = match got {
+        ContractionOutput::Dense(d) => d.clone(),
+        ContractionOutput::Sparse(c) => c.to_dense(),
+    };
+    got_dense
+        .as_slice()
+        .iter()
+        .zip(want.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max)
+}
+
+fn main() {
+    let args = parse_args();
+    let contraction =
+        Contraction::parse(&args.expr).unwrap_or_else(|e| fail(format!("parse: {e}")));
+
+    let t_ingest = Instant::now();
+    let coo = load_input(&args);
+    if let Some(c) = &coo {
+        println!(
+            "ingest: {} modes {:?}, {} nonzeros ({:.1} ms)",
+            c.order(),
+            c.dims(),
+            c.nnz(),
+            t_ingest.elapsed().as_secs_f64() * 1e3
+        );
+    }
+
+    let shapes = build_shapes(&args, &contraction, coo.as_ref());
+    let opts = PlanOptions::with_cost_model(args.cost_model)
+        .with_mode_order(args.mode_order.clone())
+        .with_threads(Threads::N(args.threads));
+
+    let t_plan = Instant::now();
+    let plan = contraction
+        .plan(&shapes, &opts)
+        .unwrap_or_else(|e| fail(format!("plan: {e}")));
+    let plan_ms = t_plan.elapsed().as_secs_f64() * 1e3;
+    print_plan(&plan);
+    println!("planned in {plan_ms:.1} ms");
+
+    if args.cmd == "plan" {
+        return;
+    }
+    let Some(coo) = coo else {
+        fail("'spttn run' needs a tensor file (--tns or --mtx)")
+    };
+
+    // Bind: written-order CSF (the plan re-sorts it if it chose another
+    // order) plus seeded random factors, one per dense input slot name.
+    let natural_order: Vec<usize> = (0..coo.order()).collect();
+    let csf = Csf::from_coo(&coo, &natural_order).unwrap_or_else(|e| fail(format!("csf: {e}")));
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let kernel = plan.kernel().clone();
+    let mut factors: Vec<(String, DenseTensor)> = Vec::new();
+    for (slot, r) in kernel.inputs.iter().enumerate() {
+        if slot == kernel.sparse_input {
+            continue;
+        }
+        // A name filling several slots reuses one tensor, matching the
+        // executor's bind semantics (each name bound once).
+        let t = match factors.iter().find(|(n, _)| *n == r.name) {
+            Some((_, t)) => t.clone(),
+            None => random_dense(&kernel.ref_dims(r), &mut rng),
+        };
+        factors.push((r.name.clone(), t));
+    }
+    let mut named: Vec<(&str, &DenseTensor)> = Vec::new();
+    for (name, t) in &factors {
+        if !named.iter().any(|(n, _)| n == name) {
+            named.push((name, t));
+        }
+    }
+    let t_bind = Instant::now();
+    let mut exec = plan
+        .bind(csf, &named)
+        .unwrap_or_else(|e| fail(format!("bind: {e}")));
+    println!(
+        "bind: {} thread(s){} ({:.1} ms)",
+        exec.threads(),
+        if plan.is_natural_order() {
+            String::new()
+        } else {
+            ", CSF re-sorted to plan order".to_string()
+        },
+        t_bind.elapsed().as_secs_f64() * 1e3
+    );
+
+    let mut out = exec.output_template();
+    let mut best = f64::INFINITY;
+    for rep in 0..args.repeat {
+        if rep > 0 {
+            // Reset between timed runs so '+=' (accumulate) plans don't
+            // pile K contractions into one output and trip --check.
+            out = exec.output_template();
+        }
+        let t = Instant::now();
+        exec.execute_into(&mut out)
+            .unwrap_or_else(|e| fail(format!("execute: {e}")));
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    let stats = exec.last_stats();
+    println!(
+        "execute: best {:.3} ms over {} run(s)",
+        best * 1e3,
+        args.repeat
+    );
+    println!("stats: {stats:?}");
+
+    if args.check {
+        let diff = check_against_oracle(&plan, &coo, &factors, &out);
+        println!("check: max |Δ| vs naive oracle = {diff:.3e}");
+        if diff.is_nan() || diff > CHECK_TOL {
+            eprintln!("error: oracle mismatch exceeds {CHECK_TOL:e}");
+            std::process::exit(2);
+        }
+        println!("check: OK (tolerance {CHECK_TOL:e})");
+    }
+}

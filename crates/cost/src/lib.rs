@@ -13,12 +13,17 @@
 //!   enumeration, for autotuning and cross-checking.
 //! - [`plan`]: the full Sec. 5 pipeline (path ranking + DP + tier
 //!   fallback).
+//! - [`plan_mode_orders`]: the CSF storage-order search layered on top
+//!   of [`plan`] — one pipeline run per candidate order
+//!   ([`candidate_orders`]), winners compared by `(flops, cost value)`;
+//!   [`ModeOrderPolicy`] is the knob the facade exposes.
 
 pub mod blas;
 pub mod cache;
 pub mod dp;
 pub mod eval;
 pub mod exhaustive;
+pub mod orders;
 pub mod planner;
 pub mod tree_cost;
 
@@ -27,5 +32,9 @@ pub use cache::CacheMiss;
 pub use dp::{optimal_order, SearchResult};
 pub use eval::eval_forest;
 pub use exhaustive::{all_nest_costs, exhaustive_search, ExhaustiveResult};
+pub use orders::{
+    candidate_orders, plan_mode_orders, ModeOrderPolicy, OrderCost, OrderSearch,
+    EXHAUSTIVE_ORDER_LIMIT,
+};
 pub use planner::{plan, PlanOptions, PlannedNest};
 pub use tree_cost::{MaxBufferDim, MaxBufferSize, TreeCost, VertexCtx};

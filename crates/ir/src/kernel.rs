@@ -214,6 +214,41 @@ impl Kernel {
         r.indices.iter().map(|&i| self.dim(i)).collect()
     }
 
+    /// The same kernel with the sparse input's modes stored in a
+    /// different CSF order: level `l` of the result holds the index at
+    /// level `perm[l]` of `self`. Every index's `sparse_level` is
+    /// refilled from the permuted order; all other structure (output,
+    /// dense inputs, dimensions) is untouched.
+    ///
+    /// This is the symbolic half of a CSF transpose — the planner's
+    /// mode-order search plans each candidate order against the
+    /// permuted kernel, and `spttn_tensor::Csf::reordered` is the data
+    /// half applied at bind time. `perm` must be a permutation of
+    /// `0..sparse order`.
+    pub fn permute_sparse_modes(&self, perm: &[usize]) -> Result<Kernel, KernelError> {
+        let d = self.csf_index_order().len();
+        let valid = perm.len() == d && {
+            let mut seen = vec![false; d];
+            perm.iter()
+                .all(|&l| l < d && !std::mem::replace(&mut seen[l], true))
+        };
+        if !valid {
+            return Err(KernelError::Parse(format!(
+                "mode order {perm:?} is not a permutation of 0..{d}"
+            )));
+        }
+        let mut inputs = self.inputs.clone();
+        let old = &self.inputs[self.sparse_input].indices;
+        inputs[self.sparse_input].indices = perm.iter().map(|&l| old[l]).collect();
+        Kernel::new(
+            self.indices.clone(),
+            self.output.clone(),
+            inputs,
+            self.sparse_input,
+            self.output_sparse,
+        )
+    }
+
     /// Human-readable einsum form of the kernel.
     pub fn to_einsum(&self) -> String {
         let fmt_ref = |r: &TensorRef| {
@@ -365,6 +400,27 @@ mod tests {
         assert_eq!(k.sparse_level(3), None); // r
         assert_eq!(k.csf_index_order(), &[0, 1, 2]);
         assert_eq!(k.index_at_level(2), 2);
+    }
+
+    #[test]
+    fn permute_sparse_modes_reorders_levels() {
+        let k = ttmc3();
+        let p = k.permute_sparse_modes(&[2, 0, 1]).unwrap();
+        // Written order of T becomes (k, i, j).
+        assert_eq!(p.to_einsum(), "S(i,r,s) = T(k,i,j) * U(j,r) * V(k,s)");
+        assert_eq!(p.csf_index_order(), &[2, 0, 1]);
+        assert_eq!(p.sparse_level(2), Some(0)); // k now at root
+        assert_eq!(p.sparse_level(0), Some(1)); // i at level 1
+        assert_eq!(p.sparse_level(1), Some(2)); // j at level 2
+                                                // Dense structure untouched.
+        assert_eq!(p.output, k.output);
+        assert_eq!(p.inputs[1], k.inputs[1]);
+        // Identity permutation round-trips.
+        assert_eq!(k.permute_sparse_modes(&[0, 1, 2]).unwrap(), k);
+        // Non-permutations rejected.
+        assert!(k.permute_sparse_modes(&[0, 1]).is_err());
+        assert!(k.permute_sparse_modes(&[0, 0, 1]).is_err());
+        assert!(k.permute_sparse_modes(&[0, 1, 3]).is_err());
     }
 
     #[test]

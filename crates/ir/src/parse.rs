@@ -72,6 +72,15 @@ pub fn parse_kernel(expr: &str, dims: &[(&str, usize)]) -> Result<Kernel, Kernel
     let out_raw = parse_ref(lhs)?;
     let mut in_raw = Vec::new();
     for part in split_top_level(rhs, '*') {
+        // Reject empty segments (trailing, doubled, or lone '*') with a
+        // pointed message instead of silently dropping them — the same
+        // contract as the facade's arrow-syntax parser.
+        if part.trim().is_empty() {
+            return Err(KernelError::Parse(format!(
+                "empty factor in '{}' (stray or doubled '*'?)",
+                rhs.trim()
+            )));
+        }
         in_raw.push(parse_ref(&part)?);
     }
     if in_raw.is_empty() {
@@ -146,6 +155,9 @@ fn split_equation(expr: &str) -> Result<(&str, &str), KernelError> {
     }
 }
 
+/// Split on `sep` outside parentheses. Every segment is kept — including
+/// empty ones from doubled or trailing separators — so the caller can
+/// reject them with a pointed message instead of silently dropping them.
 fn split_top_level(s: &str, sep: char) -> Vec<String> {
     let mut out = Vec::new();
     let mut depth = 0usize;
@@ -166,9 +178,7 @@ fn split_top_level(s: &str, sep: char) -> Vec<String> {
             _ => cur.push(c),
         }
     }
-    if !cur.trim().is_empty() {
-        out.push(cur);
-    }
+    out.push(cur);
     out
 }
 
@@ -227,6 +237,38 @@ mod tests {
         assert!(parse_kernel("A(i = T(i)", &[("i", 2)]).is_err());
         assert!(parse_kernel("A(i) = ", &[("i", 2)]).is_err());
         assert!(parse_kernel("A(i!) = T(i!)", &[("i!", 2)]).is_err());
+    }
+
+    #[test]
+    fn stray_stars_rejected_as_empty_factor() {
+        let dims: &[(&str, usize)] = &[("i", 3), ("j", 4)];
+        // Trailing '*' (previously swallowed silently).
+        let e = parse_kernel("A(i) = T(i,j) * B(j) *", dims).unwrap_err();
+        assert!(
+            matches!(&e, KernelError::Parse(m) if m.contains("empty factor")),
+            "{e:?}"
+        );
+        // Doubled '*'.
+        let e = parse_kernel("A(i) = T(i,j) ** B(j)", dims).unwrap_err();
+        assert!(
+            matches!(&e, KernelError::Parse(m) if m.contains("empty factor")),
+            "{e:?}"
+        );
+        // Lone '*'.
+        let e = parse_kernel("A(i) = *", dims).unwrap_err();
+        assert!(
+            matches!(&e, KernelError::Parse(m) if m.contains("empty factor")),
+            "{e:?}"
+        );
+        // Leading '*'.
+        let e = parse_kernel("A(i) = * T(i,j) * B(j)", dims).unwrap_err();
+        assert!(
+            matches!(&e, KernelError::Parse(m) if m.contains("empty factor")),
+            "{e:?}"
+        );
+        // A '*' inside parentheses is not a separator and still errors
+        // as a bad index, not an empty factor.
+        assert!(parse_kernel("A(i) = T(i,j*) * B(j)", dims).is_err());
     }
 
     #[test]

@@ -287,6 +287,12 @@ impl Csf {
     /// lower level's node range derived by following the child pointers
     /// down from the range boundaries.
     ///
+    /// An empty in-bounds range (`r..r`) is valid and yields an empty
+    /// tile — the degenerate-input contract shared with
+    /// [`Csf::partition`], which clamps instead of erroring because its
+    /// argument is a tile *count*, while a root range identifies
+    /// specific nodes and so must actually exist.
+    ///
     /// # Panics
     /// Panics if `roots` is out of bounds or reversed.
     pub fn tile_of_roots(&self, roots: Range<usize>) -> CsfTile {
@@ -318,6 +324,14 @@ impl Csf {
     /// partition is deterministic: same tree + same `n_tiles` → same
     /// tiles, which the parallel executor's reproducibility guarantee
     /// builds on.
+    ///
+    /// **Degenerate counts clamp, never error:** `n_tiles = 0` is
+    /// treated as 1 (the whole tree in a single tile), mirroring how
+    /// counts above the root count saturate at one root per tile. The
+    /// result therefore always covers every nonzero exactly once,
+    /// whatever the count — callers sizing tiles from a thread count
+    /// need no pre-validation. (Contrast [`Csf::tile_of_roots`], whose
+    /// argument names concrete nodes and panics when they don't exist.)
     pub fn partition(&self, n_tiles: usize) -> Vec<CsfTile> {
         let n_tiles = n_tiles.max(1);
         let n_roots = self.root_range().end;
@@ -414,6 +428,29 @@ impl Csf {
     #[deprecated(since = "0.3.0", note = "use the lazy `entries()` iterator instead")]
     pub fn iter_entries(&self) -> Vec<(Vec<usize>, f64)> {
         self.entries().collect()
+    }
+
+    /// Rebuild this tree under a different mode order (the transpose
+    /// path the planner's mode-order search relies on).
+    ///
+    /// `new_mode_order[level]` is the original mode stored at tree level
+    /// `level` of the result; it must be a permutation of `0..order`.
+    /// Returns `self.clone()` when the order already matches. The values
+    /// are preserved exactly (entries are already deduplicated, so the
+    /// rebuild is a pure resort): `O(nnz · order)` to extract entries
+    /// plus `O(nnz log nnz)` to sort them — no densification.
+    pub fn reordered(&self, new_mode_order: &[usize]) -> Result<Self, TensorError> {
+        if !is_permutation(new_mode_order, self.order()) {
+            return Err(TensorError::InvalidPermutation);
+        }
+        if new_mode_order == self.mode_order {
+            return Ok(self.clone());
+        }
+        let mut coo = CooTensor::new(&self.dims)?;
+        self.for_each_entry(|coord, v| {
+            coo.push(coord, v).expect("in-bounds by construction");
+        });
+        Csf::from_coo(&coo, new_mode_order)
     }
 }
 
@@ -674,6 +711,61 @@ mod tests {
         assert_eq!(tiles.len(), 1);
         assert!(tiles[0].is_empty());
         assert_eq!(tiles[0].leaf_nnz(), 0);
+    }
+
+    #[test]
+    fn partition_zero_clamps_to_one_tile() {
+        let csf = Csf::from_coo(&sample(), &[0, 1, 2]).unwrap();
+        let tiles = csf.partition(0);
+        assert_eq!(tiles, vec![csf.full_tile()]);
+        assert_eq!(tiles[0].leaf_nnz(), csf.nnz());
+        // Empty tensor + zero count: still one (empty) tile.
+        let empty = Csf::from_coo(&CooTensor::new(&[4, 4]).unwrap(), &[0, 1]).unwrap();
+        let tiles = empty.partition(0);
+        assert_eq!(tiles.len(), 1);
+        assert!(tiles[0].is_empty());
+    }
+
+    #[test]
+    fn tile_of_roots_empty_ranges_anywhere() {
+        let csf = Csf::from_coo(&sample(), &[0, 1, 2]).unwrap();
+        for r in 0..=csf.root_range().end {
+            let t = csf.tile_of_roots(r..r);
+            assert!(t.is_empty());
+            assert_eq!(t.leaf_nnz(), 0);
+            assert_eq!(t.depth(), csf.order());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn tile_of_roots_rejects_out_of_range() {
+        let csf = Csf::from_coo(&sample(), &[0, 1, 2]).unwrap();
+        let _ = csf.tile_of_roots(1..3); // only 2 roots
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn tile_of_roots_rejects_reversed_range() {
+        let csf = Csf::from_coo(&sample(), &[0, 1, 2]).unwrap();
+        #[allow(clippy::reversed_empty_ranges)]
+        let _ = csf.tile_of_roots(2..1);
+    }
+
+    #[test]
+    fn reordered_matches_rebuild_from_coo() {
+        let coo = sample();
+        let csf = Csf::from_coo(&coo, &[0, 1, 2]).unwrap();
+        for order in [[0usize, 1, 2], [2, 0, 1], [1, 2, 0], [2, 1, 0]] {
+            let direct = Csf::from_coo(&coo, &order).unwrap();
+            let re = csf.reordered(&order).unwrap();
+            assert_eq!(re, direct, "order {order:?}");
+        }
+        // Same order: exact clone.
+        assert_eq!(csf.reordered(&[0, 1, 2]).unwrap(), csf);
+        // Bad permutations rejected.
+        assert!(csf.reordered(&[0, 1]).is_err());
+        assert!(csf.reordered(&[0, 0, 1]).is_err());
     }
 
     #[test]

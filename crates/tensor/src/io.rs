@@ -1,0 +1,458 @@
+//! Text readers for standard sparse-tensor interchange formats.
+//!
+//! Two formats cover the datasets the paper evaluates on and the wider
+//! sparse-tensor ecosystem:
+//!
+//! - **FROSTT `.tns`** ([`read_tns`]): whitespace-separated lines of
+//!   `c1 c2 ... cd value` with 1-based coordinates; `#` starts a
+//!   comment. The mode count is taken from the first data line and the
+//!   dimensions are either declared by the caller or inferred as the
+//!   per-mode coordinate maxima.
+//! - **MatrixMarket coordinate** ([`read_mtx`]): the `%%MatrixMarket
+//!   matrix coordinate <field> <symmetry>` header, `%` comments, a
+//!   `rows cols nnz` size line, then `i j [value]` entries. `real`,
+//!   `integer`, and `pattern` fields are supported (pattern entries get
+//!   value 1.0), with `general` or `symmetric` symmetry (symmetric
+//!   off-diagonal entries are mirrored).
+//!
+//! Both readers stream line by line from any [`BufRead`], validate as
+//! they go, and finish with the canonical ingest step the rest of the
+//! stack expects: entries sorted lexicographically in natural mode
+//! order with duplicate coordinates summed
+//! ([`CooTensor::sort_dedup`]). [`load_coo`] dispatches on a file
+//! path's extension.
+
+use crate::{CooTensor, TensorError};
+use std::io::BufRead;
+use std::path::Path;
+
+/// Errors produced while reading a tensor from text.
+#[derive(Debug)]
+pub enum IoError {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// The text does not conform to the format (line number, message).
+    Parse {
+        /// 1-based line number the error was detected on.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parsed entries failed tensor validation (bounds, shape).
+    Tensor(TensorError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            IoError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<TensorError> for IoError {
+    fn from(e: TensorError) -> Self {
+        IoError::Tensor(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Raw entries accumulated while streaming, before bounds are known.
+struct RawEntries {
+    order: usize,
+    /// Flat 0-based coordinates, `order` per entry.
+    coords: Vec<usize>,
+    vals: Vec<f64>,
+    /// Per-mode maximum coordinate seen (for dimension inference).
+    max_coord: Vec<usize>,
+}
+
+impl RawEntries {
+    fn new(order: usize) -> Self {
+        RawEntries {
+            order,
+            coords: Vec::new(),
+            vals: Vec::new(),
+            max_coord: vec![0; order],
+        }
+    }
+
+    fn push(&mut self, coord: &[usize], v: f64) {
+        for (m, &c) in coord.iter().enumerate() {
+            self.max_coord[m] = self.max_coord[m].max(c);
+        }
+        self.coords.extend_from_slice(coord);
+        self.vals.push(v);
+    }
+
+    /// Build the COO tensor: declared dims (validated to cover every
+    /// entry) or inferred dims (per-mode maximum + 1), then the
+    /// canonical sort/dedup ingest step.
+    fn finish(self, declared: Option<&[usize]>) -> Result<CooTensor, IoError> {
+        let dims: Vec<usize> = match declared {
+            Some(d) => {
+                if d.len() != self.order {
+                    return Err(IoError::Tensor(TensorError::OrderMismatch {
+                        expected: self.order,
+                        actual: d.len(),
+                    }));
+                }
+                d.to_vec()
+            }
+            None => self.max_coord.iter().map(|&m| m + 1).collect(),
+        };
+        let mut coo = CooTensor::new(&dims)?;
+        for (e, &v) in self.vals.iter().enumerate() {
+            coo.push(&self.coords[e * self.order..(e + 1) * self.order], v)?;
+        }
+        let natural: Vec<usize> = (0..self.order).collect();
+        coo.sort_dedup(&natural)?;
+        Ok(coo)
+    }
+}
+
+/// Read a FROSTT `.tns` tensor: one `c1 ... cd value` entry per line,
+/// 1-based coordinates, `#` comments and blank lines skipped.
+///
+/// The mode count comes from the first data line; every later line must
+/// match it. `dims` declares the dimensions (entries are validated
+/// against them); `None` infers each dimension as the largest
+/// coordinate seen in that mode. Entries are sorted in natural mode
+/// order and duplicate coordinates are summed on ingest.
+///
+/// An input with no data lines errors: a tensor's mode count cannot be
+/// inferred from nothing (declare dims and build an empty
+/// [`CooTensor`] directly if that is what you mean).
+pub fn read_tns<R: BufRead>(reader: R, dims: Option<&[usize]>) -> Result<CooTensor, IoError> {
+    let mut entries: Option<RawEntries> = None;
+    let mut coord: Vec<usize> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let data = line.split('#').next().unwrap_or("").trim();
+        if data.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = data.split_whitespace().collect();
+        if fields.len() < 2 {
+            return Err(parse_err(
+                lineno,
+                format!("expected 'c1 ... cd value', got '{data}'"),
+            ));
+        }
+        let order = fields.len() - 1;
+        let entries = entries.get_or_insert_with(|| RawEntries::new(order));
+        if order != entries.order {
+            return Err(parse_err(
+                lineno,
+                format!(
+                    "entry has {order} coordinates, previous entries have {}",
+                    entries.order
+                ),
+            ));
+        }
+        coord.clear();
+        for f in &fields[..order] {
+            let c: usize = f
+                .parse()
+                .map_err(|_| parse_err(lineno, format!("bad coordinate '{f}'")))?;
+            if c == 0 {
+                return Err(parse_err(lineno, "coordinates are 1-based; got 0"));
+            }
+            coord.push(c - 1);
+        }
+        let v: f64 = fields[order]
+            .parse()
+            .map_err(|_| parse_err(lineno, format!("bad value '{}'", fields[order])))?;
+        entries.push(&coord, v);
+    }
+    let entries = entries.ok_or_else(|| parse_err(0, "no tensor entries in input"))?;
+    entries.finish(dims)
+}
+
+/// Read a MatrixMarket coordinate file as a 2-mode [`CooTensor`].
+///
+/// Supports the `matrix coordinate` object with `real`, `integer`, or
+/// `pattern` fields (pattern entries get value 1.0) and `general` or
+/// `symmetric` symmetry (symmetric entries below the diagonal are
+/// mirrored). Coordinates are 1-based; the declared `rows cols` size
+/// line fixes the dimensions, and the declared nonzero count must match
+/// the number of entry lines. Duplicates are summed on ingest, matching
+/// [`read_tns`].
+pub fn read_mtx<R: BufRead>(reader: R) -> Result<CooTensor, IoError> {
+    let mut lines = reader.lines().enumerate();
+
+    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let (hline, header) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty MatrixMarket file"))
+        .and_then(|(n, l)| Ok((n + 1, l?)))?;
+    let head: Vec<String> = header.split_whitespace().map(str::to_lowercase).collect();
+    if head.len() < 5 || head[0] != "%%matrixmarket" || head[1] != "matrix" {
+        return Err(parse_err(
+            hline,
+            "expected '%%MatrixMarket matrix coordinate <field> <symmetry>' header",
+        ));
+    }
+    if head[2] != "coordinate" {
+        return Err(parse_err(
+            hline,
+            format!("unsupported storage '{}'; only 'coordinate' is", head[2]),
+        ));
+    }
+    let pattern = match head[3].as_str() {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => {
+            return Err(parse_err(
+                hline,
+                format!("unsupported field '{other}'; use real, integer, or pattern"),
+            ))
+        }
+    };
+    let symmetric = match head[4].as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => {
+            return Err(parse_err(
+                hline,
+                format!("unsupported symmetry '{other}'; use general or symmetric"),
+            ))
+        }
+    };
+
+    // Size line: rows cols nnz (after % comments).
+    let mut size: Option<(usize, usize, usize)> = None;
+    let mut entries = RawEntries::new(2);
+    let mut declared_nnz = 0usize;
+    let mut seen = 0usize;
+    for (lineno, line) in lines {
+        let lineno = lineno + 1;
+        let line = line?;
+        let data = line.trim();
+        if data.is_empty() || data.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = data.split_whitespace().collect();
+        match size {
+            None => {
+                if fields.len() != 3 {
+                    return Err(parse_err(lineno, "expected size line 'rows cols nnz'"));
+                }
+                let mut it = fields.iter().map(|f| {
+                    f.parse::<usize>()
+                        .map_err(|_| parse_err(lineno, format!("bad size field '{f}'")))
+                });
+                let (r, c, n) = (
+                    it.next().unwrap()?,
+                    it.next().unwrap()?,
+                    it.next().unwrap()?,
+                );
+                declared_nnz = n;
+                size = Some((r, c, n));
+            }
+            Some((rows, cols, _)) => {
+                let want = if pattern { 2 } else { 3 };
+                if fields.len() != want {
+                    return Err(parse_err(
+                        lineno,
+                        format!("expected {want} fields per entry, got {}", fields.len()),
+                    ));
+                }
+                let i: usize = fields[0]
+                    .parse()
+                    .map_err(|_| parse_err(lineno, format!("bad row index '{}'", fields[0])))?;
+                let j: usize = fields[1]
+                    .parse()
+                    .map_err(|_| parse_err(lineno, format!("bad column index '{}'", fields[1])))?;
+                if i == 0 || j == 0 {
+                    return Err(parse_err(lineno, "indices are 1-based; got 0"));
+                }
+                if i > rows || j > cols {
+                    return Err(parse_err(
+                        lineno,
+                        format!("entry ({i}, {j}) outside declared {rows} x {cols}"),
+                    ));
+                }
+                let v: f64 = if pattern {
+                    1.0
+                } else {
+                    fields[2]
+                        .parse()
+                        .map_err(|_| parse_err(lineno, format!("bad value '{}'", fields[2])))?
+                };
+                entries.push(&[i - 1, j - 1], v);
+                if symmetric && i != j {
+                    entries.push(&[j - 1, i - 1], v);
+                }
+                seen += 1;
+            }
+        }
+    }
+    let Some((rows, cols, _)) = size else {
+        return Err(parse_err(0, "missing size line 'rows cols nnz'"));
+    };
+    if seen != declared_nnz {
+        return Err(parse_err(
+            0,
+            format!("size line declares {declared_nnz} entries, file has {seen}"),
+        ));
+    }
+    entries.finish(Some(&[rows, cols]))
+}
+
+/// Load a sparse tensor from a file path, dispatching on the extension:
+/// `.tns` → [`read_tns`] (dimensions inferred), `.mtx` → [`read_mtx`].
+pub fn load_coo(path: impl AsRef<Path>) -> Result<CooTensor, IoError> {
+    let path = path.as_ref();
+    let ext = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(str::to_lowercase);
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    match ext.as_deref() {
+        Some("tns") => read_tns(reader, None),
+        Some("mtx") => read_mtx(reader),
+        _ => Err(parse_err(
+            0,
+            format!(
+                "unrecognized tensor file extension in '{}'; expected .tns or .mtx",
+                path.display()
+            ),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tns_basic_with_comments_and_dedup() {
+        let text = "\
+# FROSTT-style fixture
+1 1 1 1.0
+3 2 1 2.5   # trailing comment
+
+1 1 1 0.5
+2 3 4 -1.0
+";
+        let coo = read_tns(text.as_bytes(), None).unwrap();
+        assert_eq!(coo.dims(), &[3, 3, 4]);
+        assert_eq!(coo.nnz(), 3); // (1,1,1) duplicates merged
+        assert_eq!(coo.to_dense().get(&[0, 0, 0]), 1.5);
+        assert_eq!(coo.to_dense().get(&[2, 1, 0]), 2.5);
+        assert_eq!(coo.to_dense().get(&[1, 2, 3]), -1.0);
+        // Sorted in natural order on ingest.
+        assert_eq!(coo.coord(0), &[0, 0, 0]);
+        assert_eq!(coo.coord(1), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn tns_declared_dims_validated() {
+        let text = "2 2 1.0\n";
+        let coo = read_tns(text.as_bytes(), Some(&[5, 5])).unwrap();
+        assert_eq!(coo.dims(), &[5, 5]);
+        let e = read_tns(text.as_bytes(), Some(&[1, 5])).unwrap_err();
+        assert!(matches!(
+            e,
+            IoError::Tensor(TensorError::CoordOutOfBounds { .. })
+        ));
+        let e = read_tns(text.as_bytes(), Some(&[5, 5, 5])).unwrap_err();
+        assert!(matches!(
+            e,
+            IoError::Tensor(TensorError::OrderMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tns_rejects_malformed() {
+        // Zero coordinate (1-based format).
+        assert!(read_tns("0 1 1.0\n".as_bytes(), None).is_err());
+        // Ragged arity.
+        assert!(read_tns("1 1 1.0\n1 1 1 1.0\n".as_bytes(), None).is_err());
+        // Non-numeric value.
+        assert!(read_tns("1 1 x\n".as_bytes(), None).is_err());
+        // Lone field.
+        assert!(read_tns("7\n".as_bytes(), None).is_err());
+        // Empty input: mode count unknowable.
+        assert!(read_tns("# only comments\n".as_bytes(), None).is_err());
+        // Error carries the offending line number.
+        let e = read_tns("1 1 1.0\n1 bad 2.0\n".as_bytes(), None).unwrap_err();
+        assert!(matches!(e, IoError::Parse { line: 2, .. }), "{e}");
+    }
+
+    #[test]
+    fn mtx_general_real() {
+        let text = "\
+%%MatrixMarket matrix coordinate real general
+% comment
+3 4 3
+1 1 2.0
+3 4 -1.5
+2 2 4.0
+";
+        let coo = read_mtx(text.as_bytes()).unwrap();
+        assert_eq!(coo.dims(), &[3, 4]);
+        assert_eq!(coo.nnz(), 3);
+        assert_eq!(coo.to_dense().get(&[2, 3]), -1.5);
+    }
+
+    #[test]
+    fn mtx_symmetric_and_pattern() {
+        let text = "\
+%%MatrixMarket matrix coordinate pattern symmetric
+3 3 2
+2 1
+3 3
+";
+        let coo = read_mtx(text.as_bytes()).unwrap();
+        // (2,1) mirrors to (1,2); diagonal (3,3) does not.
+        assert_eq!(coo.nnz(), 3);
+        assert_eq!(coo.to_dense().get(&[1, 0]), 1.0);
+        assert_eq!(coo.to_dense().get(&[0, 1]), 1.0);
+        assert_eq!(coo.to_dense().get(&[2, 2]), 1.0);
+    }
+
+    #[test]
+    fn mtx_rejects_malformed() {
+        // Missing header.
+        assert!(read_mtx("3 3 1\n1 1 2.0\n".as_bytes()).is_err());
+        // Unsupported field.
+        assert!(read_mtx(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 2 3\n".as_bytes()
+        )
+        .is_err());
+        // nnz mismatch.
+        assert!(read_mtx(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n".as_bytes()
+        )
+        .is_err());
+        // Out-of-bounds entry.
+        assert!(read_mtx(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n".as_bytes()
+        )
+        .is_err());
+        // Array storage unsupported.
+        assert!(
+            read_mtx("%%MatrixMarket matrix array real general\n2 2\n1.0\n".as_bytes()).is_err()
+        );
+    }
+}

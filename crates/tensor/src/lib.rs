@@ -22,17 +22,28 @@
 //! unit of work (the contraction is linear in the sparse tensor), which
 //! is what the parallel executor in `spttn-exec` fans out across
 //! threads.
+//!
+//! Real datasets enter through the [`io`] module: streaming readers for
+//! FROSTT `.tns` ([`read_tns`]) and MatrixMarket coordinate
+//! ([`read_mtx`]) files, both finishing with the canonical
+//! sort-and-dedup ingest step, plus [`load_coo`] which dispatches on
+//! the file extension. A loaded tensor can be stored under any CSF mode
+//! order — [`Csf::reordered`] rebuilds an existing tree under a new
+//! order, which is how plans produced by the mode-order search attach
+//! to data ingested in natural order.
 
 pub mod coo;
 pub mod csf;
 pub mod dense;
 pub mod gen;
+pub mod io;
 pub mod profile;
 
 pub use coo::CooTensor;
 pub use csf::{Csf, CsfEntries, CsfLevel, CsfTile};
 pub use dense::DenseTensor;
 pub use gen::{frostt_like, random_coo, random_dense, random_vec, skewed_coo, FrosttPreset};
+pub use io::{load_coo, read_mtx, read_tns, IoError};
 pub use profile::SparsityProfile;
 
 /// Errors produced by tensor construction and validation.

@@ -1,0 +1,117 @@
+//! COO → CSF → COO round-trips under **every** permutation of the mode
+//! order, on randomized 3- and 4-mode tensors — the invariant the
+//! planner's mode-order search and `Plan::bind`'s re-sort path depend
+//! on: whatever storage order a tree uses, the set of (coordinate,
+//! value) entries it represents is unchanged.
+
+use rand::prelude::*;
+use spttn_tensor::{random_coo, skewed_coo, CooTensor, Csf, SparsityProfile};
+
+/// All permutations of `0..d` (d ≤ 4 here, so at most 24).
+fn permutations(d: usize) -> Vec<Vec<usize>> {
+    fn go(perm: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+        if k == perm.len() {
+            out.push(perm.clone());
+            return;
+        }
+        for i in k..perm.len() {
+            perm.swap(k, i);
+            go(perm, k + 1, out);
+            perm.swap(k, i);
+        }
+    }
+    let mut out = Vec::new();
+    let mut base: Vec<usize> = (0..d).collect();
+    go(&mut base, 0, &mut out);
+    out
+}
+
+/// Canonical form of a COO tensor: entries sorted in natural order.
+fn canonical(coo: &CooTensor) -> CooTensor {
+    let mut c = coo.clone();
+    let natural: Vec<usize> = (0..c.order()).collect();
+    c.sort_dedup(&natural).unwrap();
+    c
+}
+
+fn assert_roundtrips(coo: &CooTensor, label: &str) {
+    let want = canonical(coo);
+    for order in permutations(coo.order()) {
+        let csf = Csf::from_coo(coo, &order).unwrap();
+        assert_eq!(csf.nnz(), want.nnz(), "{label}: nnz under {order:?}");
+        // Exact entry-set equality, not just dense closeness: the
+        // rebuilt COO re-sorted to natural order must be identical.
+        let back = canonical(&csf.to_coo());
+        assert_eq!(back, want, "{label}: round-trip under {order:?}");
+        // The CSF's own profile must agree with the profile computed
+        // directly from the COO under the same order (the quantity the
+        // order search scores with).
+        let from_csf = SparsityProfile::from_csf(&csf);
+        let from_coo = SparsityProfile::from_coo(coo, &order).unwrap();
+        assert_eq!(from_csf, from_coo, "{label}: profile under {order:?}");
+        // reordered() from this tree to every other order must equal a
+        // direct build in that order.
+        for other in permutations(coo.order()) {
+            let re = csf.reordered(&other).unwrap();
+            assert_eq!(
+                re,
+                Csf::from_coo(coo, &other).unwrap(),
+                "{label}: reorder {order:?} -> {other:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_3mode_all_permutations() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for (dims, nnz) in [([7usize, 5, 9], 60), ([12, 3, 12], 100), ([2, 2, 2], 7)] {
+        let coo = random_coo(&dims, nnz, &mut rng).unwrap();
+        assert_roundtrips(&coo, &format!("random {dims:?}"));
+    }
+}
+
+#[test]
+fn random_4mode_all_permutations() {
+    let mut rng = StdRng::seed_from_u64(202);
+    for (dims, nnz) in [([5usize, 4, 6, 3], 80), ([9, 2, 3, 7], 50)] {
+        let coo = random_coo(&dims, nnz, &mut rng).unwrap();
+        assert_roundtrips(&coo, &format!("random {dims:?}"));
+    }
+}
+
+#[test]
+fn skewed_3mode_all_permutations() {
+    // Power-law skew concentrates entries in low coordinates, stressing
+    // unbalanced fibers and repeated prefixes.
+    let mut rng = StdRng::seed_from_u64(303);
+    let coo = skewed_coo(&[30, 20, 10], 120, 2.5, &mut rng).unwrap();
+    assert!(coo.nnz() > 0);
+    assert_roundtrips(&coo, "skewed [30,20,10]");
+}
+
+#[test]
+fn duplicates_merge_identically_under_every_order() {
+    // Duplicate coordinates must collapse to the same sums whichever
+    // level order the tree is built in.
+    let coo = CooTensor::from_entries(
+        &[4, 3, 5],
+        vec![
+            (vec![1, 2, 0], 1.0),
+            (vec![1, 2, 0], 2.0),
+            (vec![0, 0, 4], -1.0),
+            (vec![1, 2, 0], 0.5),
+            (vec![3, 1, 1], 4.0),
+            (vec![0, 0, 4], 1.0),
+        ],
+    )
+    .unwrap();
+    for order in permutations(3) {
+        let csf = Csf::from_coo(&coo, &order).unwrap();
+        assert_eq!(csf.nnz(), 3, "order {order:?}");
+        let dense = csf.to_coo().to_dense();
+        assert_eq!(dense.get(&[1, 2, 0]), 3.5, "order {order:?}");
+        assert_eq!(dense.get(&[0, 0, 4]), 0.0, "order {order:?}");
+        assert_eq!(dense.get(&[3, 1, 1]), 4.0, "order {order:?}");
+    }
+}

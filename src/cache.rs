@@ -1,26 +1,78 @@
 //! Keyed storage of symbolic plans.
 //!
-//! The Sec. 5 planner (path enumeration + Algorithm-1 DP) is the
+//! The Sec. 5 planner (path enumeration + Algorithm-1 DP, times the
+//! number of candidate CSF orders under
+//! [`ModeOrderPolicy::Auto`](crate::cost::ModeOrderPolicy)) is the
 //! expensive stage of the pipeline, and its output depends only on the
-//! kernel structure, the index dimensions, the sparsity profile, and
-//! the cost model — never on tensor values. [`PlanKey`] captures
-//! exactly those inputs, so a [`PlanCache`] can hand back a shared
-//! [`Plan`] for every repeated build (CP-ALS sweeps, request traffic
-//! for a hot kernel) instead of re-running the DP.
+//! kernel structure, the index dimensions, the sparsity information,
+//! and the planning options — never on tensor values. [`PlanKey`]
+//! captures exactly those inputs, so a [`PlanCache`] can hand back a
+//! shared [`Plan`] for every repeated build (CP-ALS sweeps, request
+//! traffic for a hot kernel) instead of re-running the DP.
 //!
 //! Keys are honest: two contractions get the same key **iff** the
-//! planner would make identical decisions for both. The one lossy field
-//! is `tier_slack: f64` on [`PlanOptions`], which is quantized to parts
-//! per million so the key stays `Eq + Hash` without comparing raw
+//! planner would make identical decisions for both. That includes the
+//! mode-order policy and — for pattern-backed sparsity, where the
+//! search scores orders on exact per-order fiber counts — a fingerprint
+//! of the coordinates themselves, since two patterns with identical
+//! natural-order profiles can crown different orders. The one lossy
+//! field is `tier_slack: f64` on [`PlanOptions`], which is quantized to
+//! parts per million so the key stays `Eq + Hash` without comparing raw
 //! floats.
+//!
+//! Lookups are **single-flight**: when several threads miss on the same
+//! key at once, exactly one runs the planner while the rest block on
+//! the winner's slot and share its result — [`PlanCache::misses`]
+//! counts one planner run, not one per racing thread.
 
-use crate::contraction::{Contraction, CostModel, Plan, PlanOptions, Shapes};
+use crate::contraction::{Contraction, CostModel, Plan, PlanOptions, Shapes, SparsitySource};
 use crate::Result;
+use spttn_cost::ModeOrderPolicy;
 use spttn_ir::Kernel;
-use spttn_tensor::SparsityProfile;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Hashable fingerprint of the sparsity information the planner ran on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum SparsityKey {
+    /// Exact profile: dims, mode order, per-level prefix nnz.
+    Profile(Vec<usize>, Vec<usize>, Vec<u64>),
+    /// Exact pattern: dims, written-position → COO-mode map, nonzero
+    /// count, and the pattern fingerprint (a hash of the flat
+    /// coordinates, computed once when the pattern entered the
+    /// `Shapes`/CSF — not per lookup). The fingerprint is what keeps
+    /// keys honest under order search — the per-order exact counts the
+    /// search compares are a function of the full pattern, not of any
+    /// single profile.
+    Pattern {
+        dims: Vec<usize>,
+        base: Vec<usize>,
+        nnz: usize,
+        coord_hash: u64,
+    },
+    /// Uniform model: modeled nonzero count (dimensions are already in
+    /// the key's `dims`).
+    Uniform(u64),
+}
+
+impl SparsityKey {
+    fn of(source: &SparsitySource) -> SparsityKey {
+        match source {
+            SparsitySource::Profile(p) => {
+                let (dims, order, prefix) = p.signature();
+                SparsityKey::Profile(dims, order, prefix)
+            }
+            SparsitySource::Pattern { coo, base, fp } => SparsityKey::Pattern {
+                dims: coo.dims().to_vec(),
+                base: base.clone(),
+                nnz: coo.nnz(),
+                coord_hash: *fp,
+            },
+            SparsitySource::Uniform { nnz } => SparsityKey::Uniform(*nnz),
+        }
+    }
+}
 
 /// Everything the planner's decisions depend on, in hashable form.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -33,10 +85,12 @@ pub struct PlanKey {
     sparse_input: usize,
     /// Whether the output shares the sparse pattern.
     output_sparse: bool,
-    /// Sparsity-profile summary: dims, mode order, per-level prefix nnz.
-    profile: (Vec<usize>, Vec<usize>, Vec<u64>),
+    /// Sparsity information summary (profile, pattern, or model).
+    sparsity: SparsityKey,
     /// Cost model (integral parameters only — derives `Hash` directly).
     cost_model: CostModel,
+    /// CSF mode-order policy (structural data — derives `Hash`).
+    mode_order: ModeOrderPolicy,
     /// Search limits.
     max_paths_per_tier: usize,
     max_tiers: usize,
@@ -51,7 +105,22 @@ impl PlanKey {
     /// Build the key for fully-resolved planning inputs.
     pub fn new(
         kernel: &Kernel,
-        profile: &SparsityProfile,
+        profile: &spttn_tensor::SparsityProfile,
+        accumulate: bool,
+        opts: &PlanOptions,
+    ) -> Self {
+        Self::from_source(
+            kernel,
+            &SparsitySource::Profile(profile.clone()),
+            accumulate,
+            opts,
+        )
+    }
+
+    /// Build the key for a resolved sparsity source.
+    pub(crate) fn from_source(
+        kernel: &Kernel,
+        source: &SparsitySource,
         accumulate: bool,
         opts: &PlanOptions,
     ) -> Self {
@@ -60,8 +129,9 @@ impl PlanKey {
             dims: (0..kernel.num_indices()).map(|i| kernel.dim(i)).collect(),
             sparse_input: kernel.sparse_input,
             output_sparse: kernel.output_sparse,
-            profile: profile.signature(),
+            sparsity: SparsityKey::of(source),
             cost_model: opts.cost_model,
+            mode_order: opts.mode_order.clone(),
             max_paths_per_tier: opts.max_paths_per_tier,
             max_tiers: opts.max_tiers,
             tier_slack_ppm: (opts.tier_slack.max(1.0) * 1e6).round() as u64,
@@ -70,7 +140,12 @@ impl PlanKey {
     }
 }
 
-/// A thread-safe, keyed store of symbolic plans.
+/// One keyed slot: completed with a shared plan (or the planning error
+/// for the threads that waited on a failed flight).
+type PlanSlot = Arc<OnceLock<Result<Arc<Plan>>>>;
+
+/// A thread-safe, keyed store of symbolic plans with single-flight
+/// lookups.
 ///
 /// ```
 /// use spttn::{Contraction, PlanCache, PlanOptions, Shapes};
@@ -89,7 +164,7 @@ impl PlanKey {
 /// ```
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans: Mutex<HashMap<PlanKey, Arc<Plan>>>,
+    plans: Mutex<HashMap<PlanKey, PlanSlot>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -110,40 +185,65 @@ impl PlanCache {
         opts: &PlanOptions,
     ) -> Result<Arc<Plan>> {
         let (kernel, accumulate) = contraction.resolve_symbolic(shapes)?;
-        let profile = shapes.resolve_profile(&kernel)?;
-        self.plan_from_parts(kernel, profile, accumulate, opts)
+        let source = shapes.resolve_source(&kernel)?;
+        self.plan_from_parts(kernel, source, accumulate, opts)
     }
 
-    /// Get-or-plan on fully-resolved parts. The DP runs outside the
-    /// lock; when two threads race on the same key, the first insert
-    /// wins and both get the same `Arc`.
+    /// Get-or-plan on fully-resolved parts, single-flight per key: of
+    /// any number of threads racing a cold key, exactly one runs the DP
+    /// (counted as one miss) while the others block on its slot and
+    /// share the resulting `Arc` (each counted as a hit). A failed
+    /// flight hands its error to every waiter but is not retained, so
+    /// later lookups retry planning.
     pub(crate) fn plan_from_parts(
         &self,
         kernel: Kernel,
-        profile: SparsityProfile,
+        source: SparsitySource,
         accumulate: bool,
         opts: &PlanOptions,
     ) -> Result<Arc<Plan>> {
-        let key = PlanKey::new(&kernel, &profile, accumulate, opts);
-        if let Some(plan) = self.plans.lock().expect("cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(plan.clone());
-        }
-        let plan = Arc::new(Plan::build(kernel, profile, accumulate, opts)?);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let stored = self
+        let key = PlanKey::from_source(&kernel, &source, accumulate, opts);
+        let slot: PlanSlot = self
             .plans
             .lock()
             .expect("cache lock")
-            .entry(key)
-            .or_insert(plan)
+            .entry(key.clone())
+            .or_default()
             .clone();
-        Ok(stored)
+        let mut leader = false;
+        let res = slot
+            .get_or_init(|| {
+                leader = true;
+                Plan::build(kernel, source, accumulate, opts).map(Arc::new)
+            })
+            .clone();
+        if res.is_err() {
+            // Drop the failed slot (if it is still the one we raced
+            // on) so the error is not cached. Every observer attempts
+            // this, not just the leader — a thread that joins the map
+            // entry after the flight failed but before the leader's
+            // removal would otherwise leave the stale error pinned.
+            let mut map = self.plans.lock().expect("cache lock");
+            if map.get(&key).is_some_and(|cur| Arc::ptr_eq(cur, &slot)) {
+                map.remove(&key);
+            }
+        }
+        if leader {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else if res.is_ok() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        res
     }
 
-    /// Number of cached plans.
+    /// Number of cached plans (completed successful flights).
     pub fn len(&self) -> usize {
-        self.plans.lock().expect("cache lock").len()
+        self.plans
+            .lock()
+            .expect("cache lock")
+            .values()
+            .filter(|slot| matches!(slot.get(), Some(Ok(_))))
+            .count()
     }
 
     /// True when no plan is cached.
@@ -151,17 +251,19 @@ impl PlanCache {
         self.len() == 0
     }
 
-    /// Drop every cached plan (counters are kept).
+    /// Drop every cached plan (counters are kept). In-flight planner
+    /// runs complete on their private slots and are dropped.
     pub fn clear(&self) {
         self.plans.lock().expect("cache lock").clear();
     }
 
-    /// Lookups answered from the cache since construction.
+    /// Lookups answered from the cache since construction — including
+    /// threads that blocked on another thread's in-flight planner run.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Lookups that had to run the planner.
+    /// Planner runs (one per cold key, however many threads raced it).
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }

@@ -35,14 +35,17 @@
 use crate::executor::Executor;
 use crate::{Result, SpttnError};
 use spttn_cost::{
-    plan as cost_plan, BlasAware, CacheMiss, MaxBufferDim, MaxBufferSize, PlannedNest, TreeCost,
+    candidate_orders, plan_mode_orders, BlasAware, CacheMiss, MaxBufferDim, MaxBufferSize,
+    ModeOrderPolicy, OrderCost, OrderSearch, TreeCost,
 };
 use spttn_ir::{
     buffers_for_forest, build_forest, BufferSpec, ContractionPath, Kernel, KernelBuilder,
     KernelError, LoopForest, NestSpec,
 };
-use spttn_tensor::{Csf, DenseTensor, SparsityProfile};
+use spttn_tensor::{CooTensor, Csf, DenseTensor, SparsityProfile};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Cost model driving the planner (paper Defs. 4.5, 4.6 and Sec. 5).
 ///
@@ -119,6 +122,15 @@ impl Default for ExecOptions {
 pub struct PlanOptions {
     /// Cost model selecting among loop nests.
     pub cost_model: CostModel,
+    /// How the CSF storage order of the sparse input is chosen:
+    /// the expression's written order
+    /// ([`ModeOrderPolicy::Natural`], the default), a caller-specified
+    /// permutation of it ([`ModeOrderPolicy::Fixed`]), or a search over
+    /// candidate orders keeping the cheapest
+    /// ([`ModeOrderPolicy::Auto`]). Whatever is chosen, [`Plan::bind`]
+    /// still takes a CSF stored in the *written* order and rebuilds it
+    /// when the plan's order differs — see [`Plan::mode_order`].
+    pub mode_order: ModeOrderPolicy,
     /// Maximum contraction paths the DP runs on per cost tier.
     pub max_paths_per_tier: usize,
     /// Maximum asymptotic-cost tiers to explore before giving up.
@@ -137,6 +149,7 @@ impl Default for PlanOptions {
             cost_model: CostModel::BlasAware {
                 buffer_dim_bound: 2,
             },
+            mode_order: ModeOrderPolicy::Natural,
             max_paths_per_tier: 64,
             max_tiers: 16,
             tier_slack: 1.0,
@@ -157,6 +170,27 @@ impl PlanOptions {
     /// Set the execution thread count (builder style).
     pub fn with_threads(mut self, threads: Threads) -> Self {
         self.exec.threads = threads;
+        self
+    }
+
+    /// Set the CSF mode-order policy (builder style).
+    ///
+    /// [`ModeOrderPolicy::Auto`] runs the Sec. 5 planner once per
+    /// candidate order (every permutation up to 4 sparse modes, a
+    /// pruned family above) and keeps the cheapest by
+    /// `(op count, cost value)` — exact per-order fiber counts when the
+    /// pattern is known ([`Shapes::with_pattern`] or the one-shot
+    /// [`Contraction::compile`] path), the uniform model with
+    /// [`Shapes::with_nnz`]. A lone [`Shapes::with_profile`] cannot
+    /// score other orders comparably, so `Auto` keeps the natural
+    /// order there.
+    /// Plan time multiplies accordingly; execution is unaffected except
+    /// for the one-time CSF rebuild at [`Plan::bind`] when a
+    /// non-natural order wins. For pattern-sharing (TTTP-like) outputs
+    /// a non-natural order also reorders the output's nonzero
+    /// enumeration (the set of entries is unchanged).
+    pub fn with_mode_order(mut self, mode_order: ModeOrderPolicy) -> Self {
+        self.mode_order = mode_order;
         self
     }
 
@@ -186,6 +220,26 @@ pub struct Shapes {
     dims: HashMap<String, usize>,
     nnz: Option<u64>,
     profile: Option<SparsityProfile>,
+    pattern: Option<PatternRef>,
+}
+
+/// A shared coordinate pattern plus its fingerprint, computed once at
+/// [`Shapes::with_pattern`] time so neither repeated plans nor cache
+/// lookups re-copy or re-hash `O(nnz)` coordinates.
+#[derive(Debug, Clone)]
+pub(crate) struct PatternRef {
+    pub(crate) coo: Arc<CooTensor>,
+    pub(crate) fp: u64,
+}
+
+/// Order-sensitive hash of a pattern's shape and flat coordinates —
+/// the cache-key fingerprint that keeps two patterns with identical
+/// natural-order profiles from sharing a mode-order-search key.
+pub(crate) fn pattern_fingerprint(coo: &CooTensor) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    coo.dims().hash(&mut h);
+    coo.coords().hash(&mut h);
+    h.finish()
 }
 
 impl Shapes {
@@ -217,9 +271,37 @@ impl Shapes {
     }
 
     /// Use exact per-level fiber counts for the sparse input. Takes
-    /// precedence over [`Shapes::with_nnz`].
+    /// precedence over [`Shapes::with_pattern`] and [`Shapes::with_nnz`].
+    ///
+    /// A profile describes exactly one CSF order, so it cannot score
+    /// alternatives: under
+    /// [`ModeOrderPolicy::Auto`](crate::cost::ModeOrderPolicy) the
+    /// search degenerates to the natural order (use
+    /// [`Shapes::with_pattern`] to search on exact per-order counts);
+    /// a `Fixed` non-natural order falls back to the uniform model at
+    /// this profile's nonzero count.
     pub fn with_profile(mut self, profile: SparsityProfile) -> Self {
         self.profile = Some(profile);
+        self
+    }
+
+    /// Use the exact sparsity *pattern* of the sparse input: a COO
+    /// tensor whose mode `m` is the index written at position `m` of
+    /// the expression (values are ignored — only coordinates matter).
+    ///
+    /// A pattern carries strictly more information than a profile: the
+    /// planner can derive exact per-level fiber counts for **any** CSF
+    /// mode order, which is what makes
+    /// [`ModeOrderPolicy::Auto`](crate::cost::ModeOrderPolicy) searches
+    /// profile-guided rather than model-guided. Takes precedence over
+    /// [`Shapes::with_nnz`]; [`Shapes::with_profile`] takes precedence
+    /// over both.
+    pub fn with_pattern(mut self, pattern: CooTensor) -> Self {
+        let fp = pattern_fingerprint(&pattern);
+        self.pattern = Some(PatternRef {
+            coo: Arc::new(pattern),
+            fp,
+        });
         self
     }
 
@@ -228,9 +310,9 @@ impl Shapes {
         self.dims.get(name).copied()
     }
 
-    /// Resolve the sparsity profile the planner runs on, validated
+    /// Resolve the sparsity source the planner runs on, validated
     /// against the kernel's sparse-input dimensions.
-    pub(crate) fn resolve_profile(&self, kernel: &Kernel) -> Result<SparsityProfile> {
+    pub(crate) fn resolve_source(&self, kernel: &Kernel) -> Result<SparsitySource> {
         let levels = kernel.csf_index_order().len();
         if let Some(p) = &self.profile {
             if p.order() != levels {
@@ -248,18 +330,94 @@ impl Shapes {
                     )));
                 }
             }
-            return Ok(p.clone());
+            return Ok(SparsitySource::Profile(p.clone()));
+        }
+        if let Some(p) = &self.pattern {
+            if p.coo.order() != levels {
+                return Err(SpttnError::Shape(format!(
+                    "sparsity pattern has {} modes but the sparse input has {levels}",
+                    p.coo.order()
+                )));
+            }
+            for l in 0..levels {
+                let want = kernel.dim(kernel.index_at_level(l));
+                let got = p.coo.dims()[l];
+                if want != got {
+                    return Err(SpttnError::Shape(format!(
+                        "sparsity pattern mode {l} has dimension {got}, kernel expects {want}"
+                    )));
+                }
+            }
+            return Ok(SparsitySource::Pattern {
+                coo: Arc::clone(&p.coo),
+                base: (0..levels).collect(),
+                fp: p.fp,
+            });
         }
         if let Some(nnz) = self.nnz {
-            let sdims = kernel.ref_dims(kernel.sparse_ref());
-            let order: Vec<usize> = (0..sdims.len()).collect();
-            return SparsityProfile::uniform(&sdims, &order, nnz).map_err(SpttnError::from);
+            return Ok(SparsitySource::Uniform { nnz });
         }
         Err(SpttnError::Planning(
             "no sparsity information for the sparse input; call Shapes::with_nnz \
-             (uniform model) or Shapes::with_profile (exact counts)"
+             (uniform model), Shapes::with_pattern (exact coordinates), or \
+             Shapes::with_profile (exact counts)"
                 .into(),
         ))
+    }
+}
+
+/// How the planner obtains a [`SparsityProfile`] for a candidate CSF
+/// mode order: from an exact pattern (any order, exact counts), from
+/// one exact profile (its own order exact, others modeled), or from the
+/// uniform model.
+#[derive(Debug, Clone)]
+pub(crate) enum SparsitySource {
+    /// Exact fiber counts for the natural written order; a `Fixed`
+    /// non-natural order falls back to the uniform model at the same
+    /// nonzero count (`Auto` does not search past natural here — see
+    /// `run_planner`).
+    Profile(SparsityProfile),
+    /// Exact coordinates (shared, with a precomputed fingerprint for
+    /// cache keys): `coo` mode `base[p]` is the index written at
+    /// position `p` of the expression. Exact counts for every order.
+    Pattern {
+        coo: Arc<CooTensor>,
+        base: Vec<usize>,
+        fp: u64,
+    },
+    /// Uniform random model with `nnz` nonzeros, every order.
+    Uniform { nnz: u64 },
+}
+
+impl SparsitySource {
+    /// Profile for the candidate order `order` (a permutation of
+    /// written positions) of `kernel`'s sparse input, where `kernel` is
+    /// in natural written order. `None` skips the candidate.
+    pub(crate) fn profile_for(&self, kernel: &Kernel, order: &[usize]) -> Option<SparsityProfile> {
+        let identity = order.iter().enumerate().all(|(l, &p)| l == p);
+        let modeled_dims = || -> Vec<usize> {
+            order
+                .iter()
+                .map(|&p| kernel.dim(kernel.index_at_level(p)))
+                .collect()
+        };
+        let natural: Vec<usize> = (0..order.len()).collect();
+        match self {
+            SparsitySource::Profile(p) => {
+                if identity {
+                    Some(p.clone())
+                } else {
+                    SparsityProfile::uniform(&modeled_dims(), &natural, p.nnz()).ok()
+                }
+            }
+            SparsitySource::Pattern { coo, base, .. } => {
+                let new_order: Vec<usize> = order.iter().map(|&p| base[p]).collect();
+                SparsityProfile::from_coo(coo, &new_order).ok()
+            }
+            SparsitySource::Uniform { nnz } => {
+                SparsityProfile::uniform(&modeled_dims(), &natural, *nnz).ok()
+            }
+        }
     }
 }
 
@@ -321,6 +479,44 @@ impl Contraction {
         }
     }
 
+    /// Index names written on the sparse input (the first
+    /// right-hand-side tensor), in written order — the names whose
+    /// dimensions an ingested tensor file supplies. `None` before an
+    /// expression is parsed.
+    pub fn sparse_index_names(&self) -> Option<Vec<String>> {
+        if let Some(k) = &self.kernel {
+            return Some(
+                k.csf_index_order()
+                    .iter()
+                    .map(|&i| k.index_name(i).to_string())
+                    .collect(),
+            );
+        }
+        self.inputs.first().map(|r| r.indices.clone())
+    }
+
+    /// All distinct index names in the expression, inputs first (in
+    /// first-appearance order) then any output-only names. Drivers use
+    /// this to know which dimensions still need declaring.
+    pub fn all_index_names(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        let mut push = |n: &String| {
+            if !seen.contains(n) {
+                seen.push(n.clone());
+            }
+        };
+        if let Some(k) = &self.kernel {
+            return k.indices.iter().map(|i| i.name.clone()).collect();
+        }
+        for r in &self.inputs {
+            r.indices.iter().for_each(&mut push);
+        }
+        if let Some(o) = &self.output {
+            o.indices.iter().for_each(&mut push);
+        }
+        seen
+    }
+
     /// Mark the contraction as accumulating into the bound output
     /// (`+=` semantics for `execute_into`). Parsing a `+=` expression
     /// sets this automatically.
@@ -351,8 +547,8 @@ impl Contraction {
     /// [`Plan`] can be bound to many operand sets via [`Plan::bind`].
     pub fn plan(self, shapes: &Shapes, opts: &PlanOptions) -> Result<Plan> {
         let (kernel, accumulate) = self.resolve_symbolic(shapes)?;
-        let profile = shapes.resolve_profile(&kernel)?;
-        Plan::build(kernel, profile, accumulate, opts)
+        let source = shapes.resolve_source(&kernel)?;
+        Plan::build(kernel, source, accumulate, opts)
     }
 
     /// One-shot convenience: infer dimensions and the exact sparsity
@@ -360,10 +556,12 @@ impl Contraction {
     /// [`Contraction::with_sparse_input`] / [`Contraction::with_factor`],
     /// plan, and bind — parse → plan → bind in one call. Equivalent to
     /// the two-stage API with a [`Shapes`] built from the bound tensors.
+    /// Since the bound CSF supplies the exact pattern, a non-natural
+    /// [`PlanOptions::mode_order`] policy is scored on exact per-order
+    /// fiber counts here.
     pub fn compile(self, opts: PlanOptions) -> Result<Executor> {
         let (kernel, csf, factors, accumulate) = self.take_operands()?;
-        let profile = SparsityProfile::from_csf(&csf);
-        let plan = Plan::build(kernel, profile, accumulate, &opts)?;
+        let plan = Plan::build(kernel, source_from_csf(&csf, &opts), accumulate, &opts)?;
         plan.into_executor(csf, factors)
     }
 
@@ -372,8 +570,8 @@ impl Contraction {
     /// [`crate::PlanKey`] first and the Sec. 5 DP only runs on a miss.
     pub fn compile_cached(self, cache: &crate::PlanCache, opts: &PlanOptions) -> Result<Executor> {
         let (kernel, csf, factors, accumulate) = self.take_operands()?;
-        let profile = SparsityProfile::from_csf(&csf);
-        let plan = cache.plan_from_parts(kernel, profile, accumulate, opts)?;
+        let source = source_from_csf(&csf, opts);
+        let plan = cache.plan_from_parts(kernel, source, accumulate, opts)?;
         // A cached plan may have been built under different exec
         // options; the symbolic nest is thread-count-independent, so
         // apply the caller's current ones at bind time.
@@ -468,8 +666,36 @@ impl Contraction {
     }
 }
 
+/// Sparsity source for the one-shot paths: the bound CSF's own profile
+/// under the natural policy (cheap, no coordinate extraction), the full
+/// coordinate pattern when a non-natural policy needs exact counts for
+/// other orders.
+fn source_from_csf(csf: &Csf, opts: &PlanOptions) -> SparsitySource {
+    match opts.mode_order {
+        ModeOrderPolicy::Natural => SparsitySource::Profile(SparsityProfile::from_csf(csf)),
+        _ => {
+            let coo = csf.to_coo();
+            let fp = pattern_fingerprint(&coo);
+            SparsitySource::Pattern {
+                coo: Arc::new(coo),
+                base: csf.mode_order().to_vec(),
+                fp,
+            }
+        }
+    }
+}
+
 /// Type-erased planner output.
 struct Planned {
+    /// Kernel with the sparse input's written order permuted to the
+    /// chosen CSF order (identical to the input kernel when natural).
+    kernel: Kernel,
+    /// Profile the winning nest was planned against.
+    profile: SparsityProfile,
+    /// Chosen CSF order as a permutation of written positions.
+    order: Vec<usize>,
+    /// Per-candidate-order search record (single entry when fixed).
+    order_costs: Vec<OrderCost>,
     path: ContractionPath,
     spec: NestSpec,
     flops: u128,
@@ -477,36 +703,65 @@ struct Planned {
     cost: String,
 }
 
-fn erase<V: std::fmt::Debug>(p: PlannedNest<V>) -> Planned {
+fn erase<V: std::fmt::Debug>(s: OrderSearch<V>) -> Planned {
     Planned {
-        cost: format!("{:?}", p.value),
-        path: p.path,
-        spec: p.spec,
-        flops: p.flops,
-        tier: p.tier,
+        kernel: s.kernel,
+        profile: s.profile,
+        order: s.order,
+        order_costs: s.explored,
+        cost: format!("{:?}", s.planned.value),
+        path: s.planned.path,
+        spec: s.planned.spec,
+        flops: s.planned.flops,
+        tier: s.planned.tier,
     }
 }
 
-fn run_planner(kernel: &Kernel, profile: &SparsityProfile, opts: &PlanOptions) -> Result<Planned> {
+fn run_planner(kernel: &Kernel, source: &SparsitySource, opts: &PlanOptions) -> Result<Planned> {
     fn go<C: TreeCost>(
         kernel: &Kernel,
-        profile: &SparsityProfile,
+        source: &SparsitySource,
         cost: &C,
         opts: &PlanOptions,
     ) -> Result<Planned>
     where
         C::Value: std::fmt::Debug,
     {
-        cost_plan(kernel, profile, cost, &opts.search())
-            .map(erase)
-            .ok_or_else(|| SpttnError::Planning("no feasible loop nest found".into()))
+        let d = kernel.csf_index_order().len();
+        let orders: Vec<Vec<usize>> = match &opts.mode_order {
+            ModeOrderPolicy::Natural => vec![(0..d).collect()],
+            ModeOrderPolicy::Fixed(order) => {
+                // Surface a bad permutation as its own error instead of
+                // an opaque "no feasible nest".
+                kernel.permute_sparse_modes(order)?;
+                vec![order.clone()]
+            }
+            // Auto needs comparable scores across candidates. A lone
+            // exact profile can score only its own (natural) order;
+            // modeling the others uniformly would compare exact against
+            // modeled counts and could crown a genuinely worse order —
+            // so the search degenerates to natural there. Patterns
+            // (exact everywhere) and the uniform model (consistent
+            // everywhere) search the full candidate set.
+            ModeOrderPolicy::Auto => match source {
+                SparsitySource::Profile(_) => vec![(0..d).collect()],
+                SparsitySource::Pattern { .. } | SparsitySource::Uniform { .. } => {
+                    candidate_orders(&kernel.ref_dims(kernel.sparse_ref()))
+                }
+            },
+        };
+        plan_mode_orders(kernel, cost, &opts.search(), &orders, |o| {
+            source.profile_for(kernel, o)
+        })
+        .map(erase)
+        .ok_or_else(|| SpttnError::Planning("no feasible loop nest found".into()))
     }
     match opts.cost_model {
-        CostModel::MaxBufferDim => go(kernel, profile, &MaxBufferDim, opts),
-        CostModel::MaxBufferSize => go(kernel, profile, &MaxBufferSize, opts),
-        CostModel::CacheMiss { d } => go(kernel, profile, &CacheMiss { d }, opts),
+        CostModel::MaxBufferDim => go(kernel, source, &MaxBufferDim, opts),
+        CostModel::MaxBufferSize => go(kernel, source, &MaxBufferSize, opts),
+        CostModel::CacheMiss { d } => go(kernel, source, &CacheMiss { d }, opts),
         CostModel::BlasAware { buffer_dim_bound } => {
-            go(kernel, profile, &BlasAware { buffer_dim_bound }, opts)
+            go(kernel, source, &BlasAware { buffer_dim_bound }, opts)
         }
     }
 }
@@ -519,6 +774,9 @@ fn run_planner(kernel: &Kernel, profile: &SparsityProfile, opts: &PlanOptions) -
 /// store it in a [`crate::PlanCache`] keyed by [`crate::PlanKey`].
 #[derive(Debug, Clone)]
 pub struct Plan {
+    /// Kernel in the plan's chosen CSF order (the sparse input's
+    /// written order is permuted when [`Plan::mode_order`] is not the
+    /// identity).
     pub(crate) kernel: Kernel,
     pub(crate) path: ContractionPath,
     pub(crate) spec: NestSpec,
@@ -527,6 +785,12 @@ pub struct Plan {
     pub(crate) accumulate: bool,
     pub(crate) profile: SparsityProfile,
     pub(crate) exec: ExecOptions,
+    /// Chosen CSF order: level `l` stores the index written at position
+    /// `mode_order[l]` of the original expression.
+    pub(crate) mode_order: Vec<usize>,
+    /// Per-candidate-order planning record (one entry per explored
+    /// order; a single entry under a natural/fixed policy).
+    pub(crate) order_costs: Vec<OrderCost>,
     /// Leading-order scalar-operation count of the chosen path.
     pub flops: u128,
     /// Asymptotic-cost tier the path came from (0 = optimal).
@@ -539,22 +803,24 @@ impl Plan {
     /// Run the planner on fully-resolved parts.
     pub(crate) fn build(
         kernel: Kernel,
-        profile: SparsityProfile,
+        source: SparsitySource,
         accumulate: bool,
         opts: &PlanOptions,
     ) -> Result<Plan> {
-        let planned = run_planner(&kernel, &profile, opts)?;
-        let forest = build_forest(&kernel, &planned.path, &planned.spec)?;
-        let buffers = buffers_for_forest(&kernel, &planned.path, &forest);
+        let planned = run_planner(&kernel, &source, opts)?;
+        let forest = build_forest(&planned.kernel, &planned.path, &planned.spec)?;
+        let buffers = buffers_for_forest(&planned.kernel, &planned.path, &forest);
         Ok(Plan {
-            kernel,
+            kernel: planned.kernel,
             path: planned.path,
             spec: planned.spec,
             forest,
             buffers,
             accumulate,
-            profile,
+            profile: planned.profile,
             exec: opts.exec,
+            mode_order: planned.order,
+            order_costs: planned.order_costs,
             flops: planned.flops,
             tier: planned.tier,
             cost: planned.cost,
@@ -606,9 +872,52 @@ impl Plan {
         &self.buffers
     }
 
-    /// The sparsity profile the plan was made for.
+    /// The sparsity profile the plan was made for (in the plan's chosen
+    /// CSF order).
     pub fn profile(&self) -> &SparsityProfile {
         &self.profile
+    }
+
+    /// The chosen CSF storage order: level `l` of the tree holds the
+    /// sparse index written at position `mode_order()[l]` of the
+    /// original expression. The identity permutation under
+    /// [`ModeOrderPolicy::Natural`](crate::cost::ModeOrderPolicy); a
+    /// non-identity order makes [`Plan::bind`] rebuild the incoming
+    /// CSF (which is always interpreted as written-order storage).
+    pub fn mode_order(&self) -> &[usize] {
+        &self.mode_order
+    }
+
+    /// True when the chosen order is the expression's written order —
+    /// binding then reuses the incoming CSF without a rebuild.
+    pub fn is_natural_order(&self) -> bool {
+        self.mode_order.iter().enumerate().all(|(l, &p)| l == p)
+    }
+
+    /// The kernel with the sparse input back in the expression's
+    /// written order (inverting [`Plan::mode_order`]). Reference
+    /// checkers (e.g. a naive einsum over written-order dense operands)
+    /// want this view rather than [`Plan::kernel`].
+    pub fn natural_kernel(&self) -> Kernel {
+        if self.is_natural_order() {
+            return self.kernel.clone();
+        }
+        let mut inv = vec![0usize; self.mode_order.len()];
+        for (l, &p) in self.mode_order.iter().enumerate() {
+            inv[p] = l;
+        }
+        self.kernel
+            .permute_sparse_modes(&inv)
+            .expect("inverse of a valid permutation")
+    }
+
+    /// Per-candidate-order planning record: the orders the search
+    /// explored (natural/fixed policies record exactly one), each with
+    /// the best nest's op count (`None` when infeasible for that order)
+    /// and cost rendering. The chosen order is the `(flops, cost)`
+    /// minimum.
+    pub fn order_costs(&self) -> &[OrderCost] {
+        &self.order_costs
     }
 
     /// True when execution accumulates into the bound output (`+=`).
@@ -620,6 +929,20 @@ impl Plan {
     pub fn describe(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!("kernel: {}\n", self.kernel.to_einsum()));
+        if !self.is_natural_order() {
+            let names: Vec<&str> = self
+                .kernel
+                .csf_index_order()
+                .iter()
+                .map(|&i| self.kernel.index_name(i))
+                .collect();
+            s.push_str(&format!(
+                "storage: CSF order ({}) — chosen over {} candidate order(s); \
+                 bind re-sorts written-order tensors\n",
+                names.join(","),
+                self.order_costs.len()
+            ));
+        }
         s.push_str(&format!("path:   {}\n", self.path.describe(&self.kernel)));
         s.push_str(&format!("orders: {}\n", self.spec.describe(&self.kernel)));
         s.push_str(&format!(

@@ -33,9 +33,16 @@ use std::collections::HashMap;
 
 impl Plan {
     /// Bind operands to this plan: the CSF sparse input (stored in the
-    /// kernel's written index order) and one dense tensor per distinct
-    /// factor name. Shapes are validated here, once — the executor's
-    /// hot path revalidates cheaply but never reallocates.
+    /// **expression's written index order**) and one dense tensor per
+    /// distinct factor name. Shapes are validated here, once — the
+    /// executor's hot path revalidates cheaply but never reallocates.
+    ///
+    /// When the plan chose a non-natural CSF storage order
+    /// ([`Plan::mode_order`], e.g. under
+    /// [`ModeOrderPolicy::Auto`](crate::cost::ModeOrderPolicy)), the
+    /// incoming tree is re-sorted into that order here — a one-time
+    /// `O(nnz log nnz)` rebuild, after which execution is as
+    /// allocation-free as ever.
     pub fn bind(&self, csf: Csf, factors: &[(&str, &DenseTensor)]) -> Result<Executor> {
         // A duplicated name would silently shadow the later binding.
         for (pos, (name, _)) in factors.iter().enumerate() {
@@ -89,7 +96,59 @@ impl Plan {
     /// Consuming variant of [`Plan::bind_ordered`] (avoids the clone
     /// when the plan is not reused).
     pub(crate) fn into_executor(self, csf: Csf, factors: Vec<DenseTensor>) -> Result<Executor> {
-        Executor::new(self, csf, factors)
+        let (csf, leaf_perm) = self.reorder_csf(csf)?;
+        Executor::new(self, csf, leaf_perm, factors)
+    }
+
+    /// Re-sort an incoming written-order CSF into the plan's chosen
+    /// storage order (no-op for natural-order plans). Returns the
+    /// rebuilt tree plus, when a rebuild happened, the leaf
+    /// permutation: entry `e` of the *incoming* tree's leaf order lands
+    /// at leaf `perm[e]` of the rebuilt tree —
+    /// [`Executor::set_sparse_values`] scatters through it so callers
+    /// keep addressing values in the order of the CSF they bound.
+    ///
+    /// The contract: the caller's CSF level `l` holds the sparse index
+    /// written at position `l` of the expression, whatever original COO
+    /// modes those levels carry. The plan's level `l` wants written
+    /// position `mode_order[l]`, i.e. the caller's level
+    /// `mode_order[l]` — so the rebuilt tree's original-mode order is
+    /// the composition below.
+    fn reorder_csf(&self, csf: Csf) -> Result<(Csf, Option<Vec<usize>>)> {
+        if self.is_natural_order() {
+            return Ok((csf, None));
+        }
+        if csf.order() != self.mode_order.len() {
+            return Err(SpttnError::Shape(format!(
+                "sparse tensor has {} modes but the plan's sparse input has {}",
+                csf.order(),
+                self.mode_order.len()
+            )));
+        }
+        let new_order: Vec<usize> = self
+            .mode_order
+            .iter()
+            .map(|&p| csf.mode_order()[p])
+            .collect();
+        // Entries of a CSF are distinct, so sorting them under the new
+        // order is a unique total order — position `k` of this sort is
+        // exactly leaf `k` of the rebuilt tree.
+        let coo = csf.to_coo();
+        let mut idx: Vec<usize> = (0..coo.nnz()).collect();
+        idx.sort_unstable_by(|&a, &b| {
+            let (ca, cb) = (coo.coord(a), coo.coord(b));
+            new_order
+                .iter()
+                .map(|&m| ca[m].cmp(&cb[m]))
+                .find(|o| o.is_ne())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut leaf_perm = vec![0usize; coo.nnz()];
+        for (new_pos, &old) in idx.iter().enumerate() {
+            leaf_perm[old] = new_pos;
+        }
+        let rebuilt = Csf::from_coo(&coo, &new_order)?;
+        Ok((rebuilt, Some(leaf_perm)))
     }
 }
 
@@ -113,6 +172,12 @@ pub struct Executor {
     /// than one tile. `None` means the serial path, byte-identical to a
     /// single-threaded bind.
     par: Option<ParallelExecutor>,
+    /// When the plan chose a non-natural storage order: maps leaf `e`
+    /// of the CSF the caller bound to leaf `leaf_perm[e]` of the
+    /// rebuilt tree, so [`Executor::set_sparse_values`] keeps accepting
+    /// values in the caller's leaf order. `None` on natural-order plans
+    /// (identity mapping).
+    leaf_perm: Option<Vec<usize>>,
     /// Microkernel dispatch counters of the most recent execution,
     /// aggregated across threads.
     last_stats: ExecStats,
@@ -160,7 +225,12 @@ fn run_parts(
 }
 
 impl Executor {
-    fn new(plan: Plan, csf: Csf, compact: Vec<DenseTensor>) -> Result<Executor> {
+    fn new(
+        plan: Plan,
+        csf: Csf,
+        leaf_perm: Option<Vec<usize>>,
+        compact: Vec<DenseTensor>,
+    ) -> Result<Executor> {
         let kernel = &plan.kernel;
         let n_dense = kernel.inputs.len() - 1;
         if compact.len() != n_dense {
@@ -228,6 +298,7 @@ impl Executor {
             slots_by_name,
             workspace,
             par,
+            leaf_perm,
             last_stats: ExecStats::default(),
             out_dense,
             out_vals,
@@ -444,10 +515,14 @@ impl Executor {
         Ok(())
     }
 
-    /// Rebind the sparse input's nonzero values in place (leaf order of
-    /// the bound CSF). The sparsity *pattern* is fixed at bind time —
-    /// only same-pattern value updates are cheap; a new pattern needs a
-    /// fresh [`Plan::bind`].
+    /// Rebind the sparse input's nonzero values in place, given in the
+    /// leaf order of the CSF that was passed to [`Plan::bind`]. When
+    /// the plan chose a different storage order and bind re-sorted the
+    /// tree, the values are scattered through the recorded leaf
+    /// permutation — callers never need to know the internal order.
+    /// The sparsity *pattern* is fixed at bind time — only same-pattern
+    /// value updates are cheap; a new pattern needs a fresh
+    /// [`Plan::bind`].
     pub fn set_sparse_values(&mut self, vals: &[f64]) -> Result<()> {
         if vals.len() != self.csf.nnz() {
             return Err(SpttnError::Shape(format!(
@@ -459,7 +534,15 @@ impl Executor {
         // The COO template's values are never read — it only donates its
         // coordinates (`with_vals` replaces values) — so only the CSF
         // needs updating.
-        self.csf.vals_mut().copy_from_slice(vals);
+        match &self.leaf_perm {
+            None => self.csf.vals_mut().copy_from_slice(vals),
+            Some(perm) => {
+                let dst = self.csf.vals_mut();
+                for (old, &v) in vals.iter().enumerate() {
+                    dst[perm[old]] = v;
+                }
+            }
+        }
         Ok(())
     }
 

@@ -21,9 +21,19 @@
 //!   persistent thread pool with deterministic reduction — same ≤1e-9
 //!   agreement with the reference, bit-reproducible at a fixed thread
 //!   count, still zero allocations per call.
+//! - **Mode-order search:** the CSF storage order is part of the plan.
+//!   [`PlanOptions::mode_order`] takes a
+//!   [`ModeOrderPolicy`] — `Natural` (written order), `Fixed` (a
+//!   specific permutation), or `Auto`, which replans per candidate
+//!   order and keeps the cheapest ([`Plan::mode_order`] /
+//!   [`Plan::order_costs`] expose the outcome). Give
+//!   [`Shapes::with_pattern`] the coordinate pattern for exact
+//!   per-order fiber counts; [`Plan::bind`] re-sorts a written-order
+//!   CSF into the chosen order automatically.
 //! - [`PlanCache`] keys plans by [`PlanKey`] (kernel structure, mode
-//!   dims, sparsity-profile summary, cost model) so repeated builds of
-//!   the same contraction skip the planning DP entirely.
+//!   dims, sparsity summary, cost model, mode-order policy) so
+//!   repeated builds of the same contraction skip the planning DP
+//!   entirely; concurrent misses on one key are single-flight.
 //!
 //! The one-shot path survives as [`Contraction::compile`]: bind
 //! operands directly and get a ready [`Executor`] in one call.
@@ -67,6 +77,7 @@ pub use cache::{PlanCache, PlanKey};
 pub use contraction::{Contraction, CostModel, ExecOptions, Plan, PlanOptions, Shapes, Threads};
 pub use executor::Executor;
 pub use spttn_core::{Result, Scalar, SpttnError};
+pub use spttn_cost::{ModeOrderPolicy, OrderCost};
 pub use spttn_exec::{ContractionOutput, ExecStats};
 
 /// Cost models and loop-order search (re-export of `spttn-cost`).

@@ -1,0 +1,105 @@
+//! PlanCache concurrency: misses are single-flight per key — N threads
+//! racing a cold key run the planner once, not N times.
+
+use spttn::{Contraction, ModeOrderPolicy, PlanCache, PlanOptions, Shapes};
+use std::sync::{Arc, Barrier};
+
+const EXPR: &str = "T[i,j,k]*B[j,r]*C[k,r]->A[i,r]";
+
+fn shapes() -> Shapes {
+    Shapes::new()
+        .with_dims(&[("i", 40), ("j", 30), ("k", 20), ("r", 8)])
+        .with_nnz(1500)
+}
+
+#[test]
+fn racing_threads_plan_once() {
+    let cache = PlanCache::new();
+    let opts = PlanOptions::default();
+    const THREADS: usize = 8;
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    let plans: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let cache = &cache;
+                let opts = &opts;
+                scope.spawn(move || {
+                    let c = Contraction::parse(EXPR).unwrap();
+                    let shapes = shapes();
+                    // Line everyone up so all lookups hit the cold key
+                    // together — the thundering-herd scenario.
+                    barrier.wait();
+                    cache.plan(c, &shapes, opts).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // One planner run; everyone else waited on the flight and shares
+    // the same Arc.
+    assert_eq!(cache.misses(), 1, "planner must run exactly once");
+    assert_eq!(cache.hits(), (THREADS - 1) as u64);
+    assert_eq!(cache.len(), 1);
+    for p in &plans[1..] {
+        assert!(Arc::ptr_eq(&plans[0], p));
+    }
+}
+
+#[test]
+fn racing_threads_on_distinct_keys_plan_each() {
+    // Sanity check the other direction: different keys never share a
+    // flight.
+    let cache = PlanCache::new();
+    let opts_a = PlanOptions::default();
+    let opts_b = PlanOptions::default().with_mode_order(ModeOrderPolicy::Auto);
+    std::thread::scope(|scope| {
+        let cache = &cache;
+        let a = scope.spawn({
+            let opts = opts_a.clone();
+            move || cache.plan(Contraction::parse(EXPR).unwrap(), &shapes(), &opts)
+        });
+        let b = scope.spawn({
+            let opts = opts_b.clone();
+            move || cache.plan(Contraction::parse(EXPR).unwrap(), &shapes(), &opts)
+        });
+        a.join().unwrap().unwrap();
+        b.join().unwrap().unwrap();
+    });
+    assert_eq!(cache.misses(), 2);
+    assert_eq!(cache.len(), 2);
+}
+
+#[test]
+fn failed_flights_are_not_cached() {
+    // max_tiers = 0 guarantees "no feasible loop nest" every time; the
+    // error must propagate to the caller but never be pinned in the
+    // cache, so a later (fixed) lookup plans fresh.
+    let cache = PlanCache::new();
+    let broken = PlanOptions {
+        max_tiers: 0,
+        ..PlanOptions::default()
+    };
+
+    for _ in 0..2 {
+        let e = cache.plan(Contraction::parse(EXPR).unwrap(), &shapes(), &broken);
+        assert!(e.is_err());
+    }
+    // Each attempt re-ran the planner (no error caching)...
+    assert_eq!(cache.misses(), 2);
+    // ...and nothing was retained.
+    assert_eq!(cache.len(), 0);
+    assert!(cache.is_empty());
+
+    // The same key with working options now plans and caches normally.
+    let fixed = PlanOptions {
+        max_tiers: 16,
+        ..broken
+    };
+    cache
+        .plan(Contraction::parse(EXPR).unwrap(), &shapes(), &fixed)
+        .unwrap();
+    assert_eq!(cache.len(), 1);
+}

@@ -1,0 +1,64 @@
+//! Both kernel syntaxes must reject malformed factor lists identically:
+//! a trailing, doubled, leading, or lone `*` is an "empty factor" parse
+//! error in the paper-style parser (`spttn_ir::parse_kernel`) and in
+//! the facade's expression parser (both `=` and `->` syntaxes) — never
+//! silently swallowed.
+
+use spttn::ir::{parse_kernel, KernelError};
+use spttn::{Contraction, SpttnError};
+
+const DIMS: &[(&str, usize)] = &[("i", 3), ("j", 4)];
+
+fn assert_empty_factor_ir(expr: &str) {
+    let e = parse_kernel(expr, DIMS).unwrap_err();
+    match e {
+        KernelError::Parse(m) => {
+            assert!(m.contains("empty factor"), "'{expr}': wrong message '{m}'")
+        }
+        other => panic!("'{expr}': expected Parse(empty factor), got {other:?}"),
+    }
+}
+
+fn assert_empty_factor_facade(expr: &str) {
+    let e = Contraction::parse(expr).unwrap_err();
+    match e {
+        SpttnError::Kernel(KernelError::Parse(m)) => {
+            assert!(m.contains("empty factor"), "'{expr}': wrong message '{m}'")
+        }
+        other => panic!("'{expr}': expected Kernel(Parse(empty factor)), got {other:?}"),
+    }
+}
+
+#[test]
+fn paper_syntax_rejects_stray_stars() {
+    // Trailing '*' — the regression: this parsed as if the star were
+    // absent before the fix.
+    assert_empty_factor_ir("A(i) = T(i,j) * B(j) *");
+    assert_empty_factor_ir("A(i) = T(i,j) ** B(j)");
+    assert_empty_factor_ir("A(i) = *");
+    assert_empty_factor_ir("A(i) = * T(i,j) * B(j)");
+    assert_empty_factor_ir("A(i) += T(i,j) * B(j) *");
+}
+
+#[test]
+fn facade_paper_syntax_rejects_stray_stars() {
+    assert_empty_factor_facade("A(i) = T(i,j) * B(j) *");
+    assert_empty_factor_facade("A(i) = T(i,j) ** B(j)");
+    assert_empty_factor_facade("A(i) = *");
+    assert_empty_factor_facade("A(i) += T(i,j) * B(j) *");
+}
+
+#[test]
+fn facade_arrow_syntax_rejects_stray_stars() {
+    assert_empty_factor_facade("T[i,j]*B[j]*->A[i]");
+    assert_empty_factor_facade("T[i,j]**B[j]->A[i]");
+    assert_empty_factor_facade("*->A[i]");
+    assert_empty_factor_facade("*T[i,j]*B[j]->A[i]");
+}
+
+#[test]
+fn well_formed_expressions_still_parse() {
+    assert!(parse_kernel("A(i) = T(i,j) * B(j)", DIMS).is_ok());
+    assert!(Contraction::parse("A(i) = T(i,j) * B(j)").is_ok());
+    assert!(Contraction::parse("T[i,j]*B[j]->A[i]").is_ok());
+}
