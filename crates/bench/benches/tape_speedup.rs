@@ -1,0 +1,133 @@
+//! Tape engine vs interpreter: the same plans, bound once per
+//! (engine, thread-count), executed through the zero-allocation
+//! `execute_into` path on large MTTKRP and TTMc workloads.
+//!
+//! Run with `cargo bench -p spttn-bench --bench tape_speedup`; set
+//! `SPTTN_BENCH_JSON=BENCH_results.json` to emit the machine-readable
+//! artifact CI uploads. The acceptance bar for the tape engine is
+//! ≥1.3× over the interpreter at 1 thread on both kernels, and no
+//! regression at 4 threads; the measured speedups print explicitly.
+
+use rand::prelude::*;
+use spttn::ir::{stdkernels, Kernel};
+use spttn::tensor::{random_coo, random_dense, Csf, DenseTensor, SparsityProfile};
+use spttn::{Contraction, CostModel, Engine, ExecStats, Executor, PlanOptions, Shapes, Threads};
+use spttn_bench::{black_box, Harness};
+
+fn stats_json(s: &ExecStats) -> String {
+    format!(
+        "{{\"axpy\": {}, \"dot\": {}, \"xmul\": {}, \"ger\": {}, \"gemv\": {}, \
+         \"node_searches\": {}, \"search_probes\": {}}}",
+        s.axpy, s.dot, s.xmul, s.ger, s.gemv, s.node_searches, s.search_probes
+    )
+}
+
+fn bind_at(
+    kernel: &Kernel,
+    csf: &Csf,
+    factors: &[(String, DenseTensor)],
+    engine: Engine,
+    threads: usize,
+) -> Executor {
+    let plan = Contraction::from_kernel(kernel.clone())
+        .plan(
+            &Shapes::new().with_profile(SparsityProfile::from_csf(csf)),
+            &PlanOptions::with_cost_model(CostModel::BlasAware {
+                buffer_dim_bound: 2,
+            })
+            .with_threads(Threads::N(threads))
+            .with_engine(engine),
+        )
+        .expect("planning succeeds");
+    let refs: Vec<(&str, &DenseTensor)> = factors.iter().map(|(n, t)| (n.as_str(), t)).collect();
+    plan.bind(csf.clone(), &refs).expect("bind succeeds")
+}
+
+fn operands(
+    kernel: &Kernel,
+    dims: &[usize],
+    nnz: usize,
+    seed: u64,
+) -> (Csf, Vec<(String, DenseTensor)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coo = random_coo(dims, nnz, &mut rng).unwrap();
+    let order: Vec<usize> = (0..dims.len()).collect();
+    let csf = Csf::from_coo(&coo, &order).unwrap();
+    let mut factors = Vec::new();
+    for (slot, r) in kernel.inputs.iter().enumerate() {
+        if slot == kernel.sparse_input {
+            continue;
+        }
+        factors.push((r.name.clone(), random_dense(&kernel.ref_dims(r), &mut rng)));
+    }
+    (csf, factors)
+}
+
+fn main() {
+    let workloads: Vec<(&str, Kernel, Vec<usize>, usize)> = vec![
+        (
+            "mttkrp-large",
+            stdkernels::mttkrp(&[512, 96, 96], 32),
+            vec![512, 96, 96],
+            250_000,
+        ),
+        (
+            "ttmc-large",
+            stdkernels::ttmc(&[384, 64, 64], &[16, 16]),
+            vec![384, 64, 64],
+            200_000,
+        ),
+    ];
+
+    let mut h = Harness::new("tape_speedup: compiled tape vs interpreter");
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for (name, kernel, dims, nnz) in &workloads {
+        let (csf, factors) = operands(kernel, dims, *nnz, 17);
+        for threads in [1usize, 4] {
+            for engine in [Engine::Interp, Engine::Tape] {
+                let mut exec = bind_at(kernel, &csf, &factors, engine, threads);
+                let mut out = exec.output_template();
+                let id = format!(
+                    "{name} {} @ {threads}t [{} tiles]",
+                    match engine {
+                        Engine::Tape => "tape  ",
+                        Engine::Interp => "interp",
+                    },
+                    exec.threads()
+                );
+                let mut last_stats = ExecStats::default();
+                h.bench_function(&id, || {
+                    exec.execute_into(&mut out).expect("execution succeeds");
+                    last_stats = exec.last_stats();
+                    black_box(out.to_dense().sum());
+                });
+                h.note(&id, stats_json(&last_stats));
+            }
+        }
+    }
+    let results = h.finish();
+    rows.extend(results);
+
+    // Speedups: interpreter row / tape row at the same workload+threads.
+    // Median is the headline; min (fastest vs fastest) is the
+    // least-noise estimator on busy machines.
+    let median = |samples: &[f64]| {
+        let mut s = samples.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s[s.len() / 2]
+    };
+    let minimum = |samples: &[f64]| samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("\ntape speedup vs interpreter (median / min):");
+    for pair in rows.chunks(2) {
+        let [(iid, is), (tid, ts)] = pair else {
+            continue;
+        };
+        assert!(iid.contains("interp") && tid.contains("tape"), "row order");
+        println!(
+            "{:<44} {:>6.2}x {:>6.2}x",
+            tid,
+            median(is) / median(ts),
+            minimum(is) / minimum(ts)
+        );
+    }
+}

@@ -20,7 +20,8 @@ use rand::prelude::*;
 use spttn::exec::naive_einsum;
 use spttn::tensor::{load_coo, random_dense, read_tns, CooTensor, Csf, DenseTensor};
 use spttn::{
-    Contraction, ContractionOutput, CostModel, ModeOrderPolicy, Plan, PlanOptions, Shapes, Threads,
+    Contraction, ContractionOutput, CostModel, Engine, ModeOrderPolicy, Plan, PlanOptions, Shapes,
+    Threads,
 };
 use std::time::Instant;
 
@@ -47,6 +48,8 @@ OPTIONS:
     --rank N              dimension for every index not on the sparse tensor [16]
     --dim name=N          dimension for one index (overrides --rank)
     --threads N           execution threads [1]
+    --engine E            tape (bind-time compiled instruction tape) |
+                          interp (recursive oracle interpreter)  [tape]
     --cost-model M        blas-aware[:BOUND] | max-buffer-dim | max-buffer-size |
                           cache-miss[:D]    [blas-aware:2]
     --mode-order P        natural | auto | L0,L1,... (written positions) [natural]
@@ -74,6 +77,7 @@ struct Args {
     rank: usize,
     dim_overrides: Vec<(String, usize)>,
     threads: usize,
+    engine: Engine,
     cost_model: CostModel,
     mode_order: ModeOrderPolicy,
     seed: u64,
@@ -104,6 +108,14 @@ fn parse_cost_model(s: &str) -> CostModel {
         other => fail(format!(
             "unknown cost model '{other}' (blas-aware, max-buffer-dim, max-buffer-size, cache-miss)"
         )),
+    }
+}
+
+fn parse_engine(s: &str) -> Engine {
+    match s {
+        "tape" => Engine::Tape,
+        "interp" => Engine::Interp,
+        other => fail(format!("unknown engine '{other}' (tape, interp)")),
     }
 }
 
@@ -159,6 +171,7 @@ fn parse_args() -> Args {
         rank: 16,
         dim_overrides: Vec::new(),
         threads: 1,
+        engine: Engine::Tape,
         cost_model: CostModel::BlasAware {
             buffer_dim_bound: 2,
         },
@@ -203,6 +216,7 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| fail("bad --threads value"))
             }
+            "--engine" => args.engine = parse_engine(&value(&mut argv, "--engine")),
             "--cost-model" => args.cost_model = parse_cost_model(&value(&mut argv, "--cost-model")),
             "--mode-order" => args.mode_order = parse_mode_order(&value(&mut argv, "--mode-order")),
             "--seed" => {
@@ -376,7 +390,8 @@ fn main() {
     let shapes = build_shapes(&args, &contraction, coo.as_ref());
     let opts = PlanOptions::with_cost_model(args.cost_model)
         .with_mode_order(args.mode_order.clone())
-        .with_threads(Threads::N(args.threads));
+        .with_threads(Threads::N(args.threads))
+        .with_engine(args.engine);
 
     let t_plan = Instant::now();
     let plan = contraction
@@ -423,8 +438,20 @@ fn main() {
         .bind(csf, &named)
         .unwrap_or_else(|e| fail(format!("bind: {e}")));
     println!(
-        "bind: {} thread(s){} ({:.1} ms)",
+        "bind: {} thread(s), {} engine{}{} ({:.1} ms)",
         exec.threads(),
+        match exec.engine() {
+            Engine::Tape => "tape",
+            Engine::Interp => "interp",
+        },
+        exec.tape().map_or(String::new(), |t| {
+            format!(
+                " ({} instrs, {} cursors, {} fingers)",
+                t.num_instrs(),
+                t.num_cursors(),
+                t.num_fingers()
+            )
+        }),
         if plan.is_natural_order() {
             String::new()
         } else {
@@ -452,7 +479,24 @@ fn main() {
         best * 1e3,
         args.repeat
     );
-    println!("stats: {stats:?}");
+    println!(
+        "stats: axpy {} dot {} xmul {} ger {} gemv {} ({} dispatches)",
+        stats.axpy,
+        stats.dot,
+        stats.xmul,
+        stats.ger,
+        stats.gemv,
+        stats.total()
+    );
+    println!(
+        "search: {} node re-resolutions, {} probes ({})",
+        stats.node_searches,
+        stats.search_probes,
+        match exec.engine() {
+            Engine::Tape => "galloping finger search",
+            Engine::Interp => "binary search depth",
+        }
+    );
 
     if args.check {
         let diff = check_against_oracle(&plan, &coo, &factors, &out);

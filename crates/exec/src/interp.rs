@@ -36,14 +36,16 @@ use spttn_ir::{
 };
 use spttn_tensor::{CooTensor, Csf, CsfTile, DenseTensor};
 
-/// Per-execution counters of microkernel dispatches.
+/// Per-execution counters of microkernel dispatches and sparse-node
+/// searches.
 ///
 /// One instance lives in every [`Workspace`]; [`execute_forest_into`]
 /// resets it at the start of each run, so after a call the workspace's
 /// stats describe exactly that execution. Parallel runs aggregate one
-/// instance per worker with [`ExecStats::merge`]. The process-global
-/// [`stats::snapshot`] atomics keep accumulating as before for callers
-/// that relied on cumulative totals.
+/// instance per worker with [`ExecStats::merge`]. The counters are
+/// plain `u64`s bumped on the executing thread — the hot loops touch
+/// **no atomics**; the process-global [`stats::snapshot`] shim is fed
+/// once per execution, at fold time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// AXPY dispatches.
@@ -56,6 +58,13 @@ pub struct ExecStats {
     pub ger: u64,
     /// GEMV dispatches.
     pub gemv: u64,
+    /// Sparse-node re-resolutions: one per CSF level that had to be
+    /// searched (rather than tracked by an enclosing sparse loop).
+    pub node_searches: u64,
+    /// Coordinate comparisons performed by those searches — binary
+    /// search depth on the interpreter, galloping finger probes on the
+    /// tape engine (see [`crate::tape`]).
+    pub search_probes: u64,
 }
 
 impl ExecStats {
@@ -67,9 +76,12 @@ impl ExecStats {
         self.xmul += other.xmul;
         self.ger += other.ger;
         self.gemv += other.gemv;
+        self.node_searches += other.node_searches;
+        self.search_probes += other.search_probes;
     }
 
-    /// Total microkernel dispatches.
+    /// Total microkernel dispatches (searches are not dispatches and
+    /// are excluded).
     pub fn total(&self) -> u64 {
         self.axpy + self.dot + self.xmul + self.ger + self.gemv
     }
@@ -80,6 +92,13 @@ impl ExecStats {
 /// [`stats::snapshot`] and compare before/after deltas. This is the
 /// compat shim over atomic totals — per-execution numbers live in
 /// [`ExecStats`] (see [`Workspace::stats`]).
+///
+/// The shim is fed by an internal fold, called exactly once per
+/// (serial or per-tile) execution after the run completes. Hot loops
+/// never touch these atomics; [`stats::rmw_ops`] counts the individual
+/// atomic read-modify-write operations so tests can assert the
+/// fold-only contract (a handful of RMWs per execution, independent of
+/// how many microkernels dispatched).
 pub mod stats {
     use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -88,6 +107,8 @@ pub mod stats {
     pub(crate) static XMUL: AtomicU64 = AtomicU64::new(0);
     pub(crate) static GER: AtomicU64 = AtomicU64::new(0);
     pub(crate) static GEMV: AtomicU64 = AtomicU64::new(0);
+    /// Meta-counter of atomic RMWs performed on the dispatch counters.
+    static RMW_OPS: AtomicU64 = AtomicU64::new(0);
 
     /// Cumulative dispatch counts since process start.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,8 +136,29 @@ pub mod stats {
         }
     }
 
-    pub(crate) fn bump(c: &AtomicU64) {
-        c.fetch_add(1, Ordering::Relaxed);
+    /// Number of atomic read-modify-writes ever performed on the
+    /// dispatch counters. A fold performs at most five (one per
+    /// nonzero counter), so over any execution window this grows by
+    /// `O(executions)`, never `O(dispatches)` — the no-alloc test
+    /// asserts exactly that.
+    pub fn rmw_ops() -> u64 {
+        RMW_OPS.load(Ordering::Relaxed)
+    }
+
+    /// Fold one execution's counters into the global shim (called once
+    /// per serial execution / per parallel tile, after the run).
+    pub(crate) fn fold(s: &super::ExecStats) {
+        let add = |c: &AtomicU64, v: u64| {
+            if v != 0 {
+                c.fetch_add(v, Ordering::Relaxed);
+                RMW_OPS.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        add(&AXPY, s.axpy);
+        add(&DOT, s.dot);
+        add(&XMUL, s.xmul);
+        add(&GER, s.ger);
+        add(&GEMV, s.gemv);
     }
 }
 
@@ -244,7 +286,7 @@ pub fn validate_operands(kernel: &Kernel, csf: &Csf, dense_factors: &[&DenseTens
     Ok(())
 }
 
-fn validate_slots(kernel: &Kernel, csf: &Csf, slots: Slots<'_>) -> Result<()> {
+pub(crate) fn validate_slots(kernel: &Kernel, csf: &Csf, slots: Slots<'_>) -> Result<()> {
     if slots.len() != kernel.inputs.len() {
         return Err(SpttnError::Execution(format!(
             "expected {} slot-ordered factors, got {}",
@@ -283,25 +325,29 @@ pub fn validate_slotted_operands(
 #[derive(Debug, Clone)]
 pub struct Workspace {
     /// Per term: the Eq.-5 buffer (scalar placeholder for the final term).
-    buffers: Vec<DenseTensor>,
+    pub(crate) buffers: Vec<DenseTensor>,
     /// Stored index ids of each term's buffer (producer loop order).
-    buffer_inds: Vec<Vec<IndexId>>,
+    pub(crate) buffer_inds: Vec<Vec<IndexId>>,
     /// Current coordinate per kernel index.
     coords: Vec<usize>,
     /// Current CSF node per tree level (set by enclosing sparse loops).
     nodes: Vec<Option<usize>>,
     /// Dummy dense target used when the kernel's output is sparse.
-    scratch_dense: DenseTensor,
+    pub(crate) scratch_dense: DenseTensor,
     /// Microkernel dispatch counters of the most recent execution.
-    stats: ExecStats,
+    pub(crate) stats: ExecStats,
     /// Fingerprint of the forest the buffers were sized for, so
     /// [`execute_forest_into`] can reject a workspace built for a
     /// different nest (whose buffer shapes would silently disagree).
-    forest_stamp: u64,
+    pub(crate) forest_stamp: u64,
+    /// Preallocated mutable state of the tape engine, present once
+    /// [`Workspace::prepare_tape`] ran (the executors do this at bind
+    /// time so tape executions stay allocation-free).
+    pub(crate) tape: Option<crate::tape::TapeState>,
 }
 
 /// Structural fingerprint of a loop forest (allocation-free).
-fn forest_stamp(forest: &LoopForest) -> u64 {
+pub(crate) fn forest_stamp(forest: &LoopForest) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut h = std::collections::hash_map::DefaultHasher::new();
     forest.hash(&mut h);
@@ -344,6 +390,19 @@ impl Workspace {
             scratch_dense: DenseTensor::zeros(&[]),
             stats: ExecStats::default(),
             forest_stamp: forest_stamp(forest),
+            tape: None,
+        }
+    }
+
+    /// Preallocate the mutable runtime state of a compiled tape (see
+    /// [`crate::tape::CompiledTape`]) inside this workspace, so tape
+    /// executions after this call perform zero heap allocations. The
+    /// workspace must have been built for the same plan the tape was
+    /// compiled from. Idempotent for a matching tape; a state prepared
+    /// for a different tape is replaced.
+    pub fn prepare_tape(&mut self, tape: &crate::tape::CompiledTape) {
+        if !self.tape.as_ref().is_some_and(|s| s.matches(tape)) {
+            self.tape = Some(tape.new_state());
         }
     }
 
@@ -550,8 +609,18 @@ pub(crate) fn execute_slots(
         out_dense,
         out_sparse,
         stats,
+        node_searches: std::cell::Cell::new(0),
+        search_probes: std::cell::Cell::new(0),
     };
-    exec.run()
+    let res = exec.run();
+    exec.stats.node_searches += exec.node_searches.get();
+    exec.stats.search_probes += exec.search_probes.get();
+    if res.is_ok() {
+        // Feed the global compat shim exactly once per execution — the
+        // hot loops above touched no atomics.
+        stats::fold(&ws.stats());
+    }
+    res
 }
 
 /// Execute a fused loop forest, allocating a fresh workspace and output.
@@ -691,6 +760,27 @@ struct Exec<'a> {
     out_sparse: &'a mut [f64],
     /// Per-execution microkernel dispatch counters (workspace-owned).
     stats: &'a mut ExecStats,
+    /// Search counters, in `Cell`s because [`Exec::resolve_node`] runs
+    /// under shared borrows; folded into `stats` after the run.
+    node_searches: std::cell::Cell<u64>,
+    search_probes: std::cell::Cell<u64>,
+}
+
+/// Binary search for `target` in a sorted, duplicate-free slice,
+/// counting the coordinate comparisons performed (the interpreter's
+/// per-visit search depth, reported as [`ExecStats::search_probes`]).
+fn binary_search_counting(idx: &[usize], target: usize, probes: &mut u64) -> Option<usize> {
+    let (mut lo, mut hi) = (0usize, idx.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        *probes += 1;
+        match idx[mid].cmp(&target) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Some(mid),
+        }
+    }
+    None
 }
 
 impl<'a> Exec<'a> {
@@ -799,9 +889,13 @@ impl<'a> Exec<'a> {
             };
             let target = self.coords[self.kernel.index_at_level(l)];
             let idx = &self.csf.level(l).idx[range.clone()];
-            match idx.binary_search(&target) {
-                Ok(pos) => node = Some(range.start + pos),
-                Err(_) => return None,
+            self.node_searches.set(self.node_searches.get() + 1);
+            let mut probes = self.search_probes.get();
+            let found = binary_search_counting(idx, target, &mut probes);
+            self.search_probes.set(probes);
+            match found {
+                Some(pos) => node = Some(range.start + pos),
+                None => return None,
             }
         }
         node
@@ -997,7 +1091,6 @@ impl<'a> Exec<'a> {
                         let y = slice_of(self.factors, reads, rb, rbase);
                         blas::dot(n, x, ls, y, rs)
                     };
-                    stats::bump(&stats::DOT);
                     self.stats.dot += 1;
                     self.accumulate_cell(t, v);
                     Ok(true)
@@ -1029,7 +1122,6 @@ impl<'a> Exec<'a> {
                     | (SrcMeta::Const(c), SrcMeta::Var { buf, base, s1, .. }) => {
                         let x = slice_of(factors, reads, buf, base);
                         blas::axpy(n, c, x, s1, tgt, ts);
-                        stats::bump(&stats::AXPY);
                         run_stats.axpy += 1;
                         Ok(true)
                     }
@@ -1050,7 +1142,6 @@ impl<'a> Exec<'a> {
                         let x = slice_of(factors, reads, lb, lbase);
                         let z = slice_of(factors, reads, rb, rbase);
                         blas::xmul(n, 1.0, x, ls, z, rs, tgt, ts);
-                        stats::bump(&stats::XMUL);
                         run_stats.xmul += 1;
                         Ok(true)
                     }
@@ -1125,7 +1216,6 @@ impl<'a> Exec<'a> {
                 let x = slice_of(factors, reads, lb, lbase);
                 let y = slice_of(factors, reads, rb, rbase);
                 blas::ger(m, n, 1.0, x, l1, y, r2, tgt, t1, t2);
-                stats::bump(&stats::GER);
                 run_stats.ger += 1;
                 return Ok(true);
             }
@@ -1133,7 +1223,6 @@ impl<'a> Exec<'a> {
                 let x = slice_of(factors, reads, rb, rbase);
                 let y = slice_of(factors, reads, lb, lbase);
                 blas::ger(m, n, 1.0, x, r1, y, l2, tgt, t1, t2);
-                stats::bump(&stats::GER);
                 run_stats.ger += 1;
                 return Ok(true);
             }
@@ -1145,7 +1234,6 @@ impl<'a> Exec<'a> {
                 let a = slice_of(factors, reads, lb, lbase);
                 let x = slice_of(factors, reads, rb, rbase);
                 blas::gemv(m, n, 1.0, a, l1, l2, x, r2, tgt, t1);
-                stats::bump(&stats::GEMV);
                 run_stats.gemv += 1;
                 return Ok(true);
             }
@@ -1153,7 +1241,6 @@ impl<'a> Exec<'a> {
                 let a = slice_of(factors, reads, rb, rbase);
                 let x = slice_of(factors, reads, lb, lbase);
                 blas::gemv(m, n, 1.0, a, r1, r2, x, l2, tgt, t1);
-                stats::bump(&stats::GEMV);
                 run_stats.gemv += 1;
                 return Ok(true);
             }
@@ -1165,7 +1252,6 @@ impl<'a> Exec<'a> {
                 let a = slice_of(factors, reads, lb, lbase);
                 let x = slice_of(factors, reads, rb, rbase);
                 blas::gemv(n, m, 1.0, a, l2, l1, x, r1, tgt, t2);
-                stats::bump(&stats::GEMV);
                 run_stats.gemv += 1;
                 return Ok(true);
             }
@@ -1173,7 +1259,6 @@ impl<'a> Exec<'a> {
                 let a = slice_of(factors, reads, rb, rbase);
                 let x = slice_of(factors, reads, lb, lbase);
                 blas::gemv(n, m, 1.0, a, r2, r1, x, l1, tgt, t2);
-                stats::bump(&stats::GEMV);
                 run_stats.gemv += 1;
                 return Ok(true);
             }

@@ -22,6 +22,19 @@
 //! allocation-free, and partial outputs combine through a deterministic
 //! tree reduction ([`tree_reduce_partials`]).
 //!
+//! Two engines execute a plan:
+//!
+//! - the recursive **interpreter** above ([`execute_forest_into`]),
+//!   which re-derives per-visit decisions from the forest — kept as the
+//!   differential-testing oracle; and
+//! - the **tape engine** ([`tape`]): [`tape::CompiledTape`] lowers the
+//!   nest once into a flat instruction program (loop dispatch,
+//!   microkernel selection, and operand addressing all resolved at
+//!   compile time; densely-iterated sparse modes re-resolved by a
+//!   monotone finger search instead of cold binary search), and an
+//!   iterative driver replays it per tile with zero allocations and
+//!   zero atomics on the hot path.
+//!
 //! A brute-force dense einsum oracle ([`naive_einsum`]) backs the
 //! correctness tests.
 
@@ -29,6 +42,7 @@ pub mod blas;
 pub mod interp;
 pub mod parallel;
 pub mod reference;
+pub mod tape;
 
 pub use interp::{
     execute_forest, execute_forest_into, execute_forest_tile_into, validate_operands,
@@ -36,3 +50,4 @@ pub use interp::{
 };
 pub use parallel::{execute_forest_parallel, tree_reduce_partials, ParallelExecutor};
 pub use reference::naive_einsum;
+pub use tape::{execute_tape, execute_tape_into, execute_tape_tile_into, CompiledTape, TapeState};

@@ -28,6 +28,7 @@ use crate::interp::{
     execute_forest_tile_into, execute_slots, validate_operands, validate_output, ContractionOutput,
     ExecStats, OutputMut, Slots, Workspace,
 };
+use crate::tape::{execute_tape_tile_into, CompiledTape};
 use spttn_core::{Result, SpttnError};
 use spttn_ir::{BufferSpec, ContractionPath, Kernel, LoopForest};
 use spttn_tensor::{Csf, CsfTile, DenseTensor};
@@ -186,6 +187,9 @@ struct Job {
     kernel: *const Kernel,
     path: *const ContractionPath,
     forest: *const LoopForest,
+    /// Compiled tape program shared by every worker; null selects the
+    /// recursive interpreter.
+    tape: *const CompiledTape,
     csf: *const Csf,
     tile: *const CsfTile,
     factors: *const DenseTensor,
@@ -208,32 +212,22 @@ fn run_job(job: Job) -> Result<()> {
         let kernel = &*job.kernel;
         let path = &*job.path;
         let forest = &*job.forest;
+        let tape: Option<&CompiledTape> = job.tape.as_ref();
         let csf = &*job.csf;
         let tile = &*job.tile;
         let factors = std::slice::from_raw_parts(job.factors, job.factors_len);
         let ws = &mut *job.ws;
+        let run = |ws: &mut Workspace, out: OutputMut<'_>| match tape {
+            Some(t) => execute_tape_tile_into(t, kernel, csf, tile, factors, ws, out),
+            None => execute_forest_tile_into(kernel, path, forest, csf, tile, factors, ws, out),
+        };
         match job.out {
             JobOut::Dense(p) => {
                 let partial = &mut *p;
                 partial.fill_zero();
-                execute_forest_tile_into(
-                    kernel,
-                    path,
-                    forest,
-                    csf,
-                    tile,
-                    factors,
-                    ws,
-                    OutputMut::Dense(partial),
-                )
+                run(ws, OutputMut::Dense(partial))
             }
-            JobOut::Sparse(p, len) => execute_forest_tile_into(
-                kernel,
-                path,
-                forest,
-                csf,
-                tile,
-                factors,
+            JobOut::Sparse(p, len) => run(
                 ws,
                 OutputMut::Sparse(std::slice::from_raw_parts_mut(p, len)),
             ),
@@ -388,6 +382,10 @@ pub struct ParallelExecutor {
     /// sparse outputs, which reduce by disjoint leaf ranges instead.
     partials: Vec<DenseTensor>,
     pool: WorkerPool,
+    /// Compiled tape engine shared by every tile (one immutable program,
+    /// per-tile mutable state in each workspace); `None` runs the
+    /// recursive interpreter.
+    tape: Option<Arc<CompiledTape>>,
     /// Per-level node counts of the CSF the tiles were computed from:
     /// a cheap structural guard (O(order) to compare, allocation-free)
     /// that rejects execution against a tensor the tiling does not
@@ -438,9 +436,28 @@ impl ParallelExecutor {
             workspaces,
             partials,
             pool,
+            tape: None,
             level_nnz: (0..csf.order()).map(|k| csf.level_nnz(k)).collect(),
             stats: ExecStats::default(),
         }
+    }
+
+    /// Switch this executor to the tape engine (builder style): every
+    /// tile runs `tape` instead of the interpreter, and each per-tile
+    /// workspace preallocates its tape state here so executions stay
+    /// allocation-free. The tape must be compiled from the same plan
+    /// the workspaces were built from.
+    pub fn with_tape(mut self, tape: Arc<CompiledTape>) -> ParallelExecutor {
+        for ws in &mut self.workspaces {
+            ws.prepare_tape(&tape);
+        }
+        self.tape = Some(tape);
+        self
+    }
+
+    /// The compiled tape this executor runs, when on the tape engine.
+    pub fn tape(&self) -> Option<&Arc<CompiledTape>> {
+        self.tape.as_ref()
     }
 
     /// Number of tiles (= executing threads, counting the caller's).
@@ -501,6 +518,7 @@ impl ParallelExecutor {
             kernel,
             path,
             forest,
+            tape: self.tape.as_ref().map_or(std::ptr::null(), Arc::as_ptr),
             csf,
             tile: std::ptr::null(),
             factors: factors_by_slot.as_ptr(),
@@ -596,6 +614,7 @@ impl Clone for ParallelExecutor {
             workspaces: self.workspaces.clone(),
             partials: self.partials.clone(),
             pool: WorkerPool::new(self.pool.len()),
+            tape: self.tape.clone(),
             level_nnz: self.level_nnz.clone(),
             stats: self.stats,
         }

@@ -48,6 +48,25 @@ impl BufferSpec {
     pub fn index_set(&self) -> IdxSet {
         IdxSet::from_iter(self.inds.iter().copied())
     }
+
+    /// Row-major strides matching [`BufferSpec::dims`] — the layout the
+    /// executor's `DenseTensor` allocation of this buffer uses. Exposed
+    /// so bind-time compilers can lower buffer addressing to
+    /// base-offset + stride arithmetic without materializing tensors.
+    pub fn strides(&self) -> Vec<usize> {
+        row_major_strides(&self.dims)
+    }
+}
+
+/// Row-major strides for a dimension list (last mode contiguous) —
+/// shared by [`BufferSpec::strides`] and
+/// [`crate::Kernel::ref_strides`] so the two layouts cannot drift.
+pub(crate) fn row_major_strides(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; dims.len()];
+    for k in (0..dims.len().saturating_sub(1)).rev() {
+        strides[k] = strides[k + 1] * dims[k + 1];
+    }
+    strides
 }
 
 /// Compute the buffer of every non-final term for a fused forest.
@@ -139,6 +158,8 @@ mod tests {
         assert_eq!(bufs.len(), 1);
         assert_eq!(bufs[0].ndim(), 3);
         assert_eq!(bufs[0].size(), 10 * 11 * 5);
+        // Row-major layout: last stored mode contiguous.
+        assert_eq!(bufs[0].strides(), vec![11 * 5, 5, 1]);
     }
 
     #[test]

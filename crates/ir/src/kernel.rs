@@ -214,6 +214,14 @@ impl Kernel {
         r.indices.iter().map(|&i| self.dim(i)).collect()
     }
 
+    /// Row-major strides of a tensor reference's dense layout (the
+    /// layout bound `DenseTensor`s are validated against). Bind-time
+    /// compilers use this to lower operand addressing to precomputed
+    /// base-offset + stride pairs without consulting tensor data.
+    pub fn ref_strides(&self, r: &TensorRef) -> Vec<usize> {
+        crate::buffer::row_major_strides(&self.ref_dims(r))
+    }
+
     /// The same kernel with the sparse input's modes stored in a
     /// different CSF order: level `l` of the result holds the index at
     /// level `perm[l]` of `self`. Every index's `sparse_level` is
@@ -476,6 +484,15 @@ mod tests {
         let k = ttmc3();
         assert_eq!(k.ref_dims(&k.inputs[0]), vec![30, 20, 25]);
         assert_eq!(k.ref_dims(&k.output), vec![30, 8, 9]);
+    }
+
+    #[test]
+    fn ref_strides_are_row_major() {
+        let k = ttmc3();
+        assert_eq!(k.ref_strides(&k.inputs[0]), vec![20 * 25, 25, 1]);
+        assert_eq!(k.ref_strides(&k.output), vec![8 * 9, 9, 1]);
+        // A matrix factor and a scalar-free edge: single index → [1].
+        assert_eq!(k.ref_strides(&k.inputs[1]), vec![8, 1]);
     }
 
     #[test]

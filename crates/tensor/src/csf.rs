@@ -424,12 +424,6 @@ impl Csf {
         }
     }
 
-    /// A leaf-order list of `(original-mode coordinates, value)`.
-    #[deprecated(since = "0.3.0", note = "use the lazy `entries()` iterator instead")]
-    pub fn iter_entries(&self) -> Vec<(Vec<usize>, f64)> {
-        self.entries().collect()
-    }
-
     /// Rebuild this tree under a different mode order (the transpose
     /// path the planner's mode-order search relies on).
     ///
@@ -618,9 +612,6 @@ mod tests {
             seen += 1;
         });
         assert_eq!(seen, 5);
-        #[allow(deprecated)]
-        let eager = csf.iter_entries();
-        assert_eq!(eager, csf.entries().collect::<Vec<_>>());
     }
 
     #[test]

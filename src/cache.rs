@@ -233,7 +233,18 @@ impl PlanCache {
         } else if res.is_ok() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
-        res
+        // The symbolic nest is identical for every thread count and
+        // engine, so `ExecOptions` stay out of the key — but the
+        // caller's options must win over whatever the flight leader
+        // planned with: re-apply them on a mismatch (hits with
+        // matching options keep sharing the cached `Arc` untouched).
+        res.map(|plan| {
+            if plan.exec() == opts.exec {
+                plan
+            } else {
+                Arc::new((*plan).clone().with_exec(opts.exec))
+            }
+        })
     }
 
     /// Number of cached plans (completed successful flights).

@@ -93,6 +93,29 @@ impl Threads {
     }
 }
 
+/// Which execution engine a bound [`crate::Executor`] runs.
+///
+/// Both engines execute the identical plan and mirror each other's
+/// floating-point operation order, so results agree to the last bit in
+/// practice (and are held to ≤1e-9 by the differential suite). The
+/// interpreter is kept as the independently-implemented oracle: run it
+/// when validating the tape engine, bisecting a suspected executor
+/// bug, or measuring the specialization speedup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// Compile the loop forest to a flat instruction tape at bind time
+    /// ([`spttn_exec::tape`]): per-visit dispatch, microkernel
+    /// selection, and operand addressing are resolved once, densely
+    /// iterated sparse modes use a monotone finger search, and the
+    /// driver runs allocation- and atomic-free. The default.
+    #[default]
+    Tape,
+    /// The recursive loop-forest interpreter
+    /// ([`spttn_exec::execute_forest_into`]) — re-derives per-visit
+    /// decisions from the forest; slower, kept as the oracle engine.
+    Interp,
+}
+
 /// Execution-stage options, carried by a [`Plan`] into [`Plan::bind`].
 ///
 /// With more than one thread, binding partitions the CSF root level
@@ -100,19 +123,24 @@ impl Threads {
 /// persistent worker pool with one preallocated workspace and private
 /// output per thread; partial outputs combine through a deterministic
 /// tree reduction, so results are bit-reproducible run to run at a
-/// fixed thread count (and within ≤1e-9 of the serial path).
+/// fixed thread count (and within ≤1e-9 of the serial path). The
+/// [`Engine`] choice is orthogonal: one compiled tape is shared by
+/// every worker thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExecOptions {
     /// Threads the bound executor runs on.
     pub threads: Threads,
+    /// Engine executions run on (default [`Engine::Tape`]).
+    pub engine: Engine,
 }
 
 impl Default for ExecOptions {
     /// Serial execution — parallelism is opt-in, keeping default plans
-    /// byte-identical to previous releases.
+    /// byte-identical to previous releases — on the tape engine.
     fn default() -> Self {
         ExecOptions {
             threads: Threads::N(1),
+            engine: Engine::Tape,
         }
     }
 }
@@ -170,6 +198,14 @@ impl PlanOptions {
     /// Set the execution thread count (builder style).
     pub fn with_threads(mut self, threads: Threads) -> Self {
         self.exec.threads = threads;
+        self
+    }
+
+    /// Set the execution engine (builder style). [`Engine::Tape`] is
+    /// the default; [`Engine::Interp`] selects the recursive
+    /// interpreter — the differential-testing oracle.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.exec.engine = engine;
         self
     }
 
@@ -571,14 +607,10 @@ impl Contraction {
     pub fn compile_cached(self, cache: &crate::PlanCache, opts: &PlanOptions) -> Result<Executor> {
         let (kernel, csf, factors, accumulate) = self.take_operands()?;
         let source = source_from_csf(&csf, opts);
+        // The cache re-applies the caller's exec options (thread count,
+        // engine) on a hit, so the returned plan binds as requested.
         let plan = cache.plan_from_parts(kernel, source, accumulate, opts)?;
-        // A cached plan may have been built under different exec
-        // options; the symbolic nest is thread-count-independent, so
-        // apply the caller's current ones at bind time.
-        (*plan)
-            .clone()
-            .with_exec(opts.exec)
-            .into_executor(csf, factors)
+        (*plan).clone().into_executor(csf, factors)
     }
 
     /// Resolve the validated kernel for symbolic planning: a pre-built

@@ -22,14 +22,15 @@
 //! deterministic tile order and tree reduction. `threads = 1` skips all
 //! of this and is byte-identical to previous serial behavior.
 
-use crate::contraction::Plan;
+use crate::contraction::{Engine, Plan};
 use crate::{Result, SpttnError};
 use spttn_exec::{
-    execute_forest_into, validate_slotted_operands, ContractionOutput, ExecStats, OutputMut,
-    ParallelExecutor, Workspace,
+    execute_forest_into, execute_tape_into, validate_slotted_operands, CompiledTape,
+    ContractionOutput, ExecStats, OutputMut, ParallelExecutor, Workspace,
 };
 use spttn_tensor::{CooTensor, Csf, DenseTensor};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 impl Plan {
     /// Bind operands to this plan: the CSF sparse input (stored in the
@@ -172,6 +173,11 @@ pub struct Executor {
     /// than one tile. `None` means the serial path, byte-identical to a
     /// single-threaded bind.
     par: Option<ParallelExecutor>,
+    /// The bind-time-compiled instruction tape, present when the plan's
+    /// [`Engine`] is [`Engine::Tape`] (the default). One immutable
+    /// program shared by every executing thread; the per-thread mutable
+    /// state lives in the workspaces.
+    tape: Option<Arc<CompiledTape>>,
     /// When the plan chose a non-natural storage order: maps leaf `e`
     /// of the CSF the caller bound to leaf `leaf_perm[e]` of the
     /// rebuilt tree, so [`Executor::set_sparse_values`] keeps accepting
@@ -192,28 +198,35 @@ pub struct Executor {
 /// parallel or serial engine, and record the run's aggregated stats.
 /// Free function over the executor's split fields so both `execute`
 /// and `execute_into` can call it under their own borrows.
+#[allow(clippy::too_many_arguments)]
 fn run_parts(
     plan: &Plan,
     csf: &Csf,
     factors: &[DenseTensor],
     workspace: &mut Workspace,
     par: &mut Option<ParallelExecutor>,
+    tape: &Option<Arc<CompiledTape>>,
     last_stats: &mut ExecStats,
     out: OutputMut<'_>,
 ) -> Result<()> {
     let res = match par.as_mut() {
+        // The parallel engine carries its own tape (shared program,
+        // per-tile state) when one was compiled at bind.
         Some(engine) => {
             engine.execute_into(&plan.kernel, &plan.path, &plan.forest, csf, factors, out)
         }
-        None => execute_forest_into(
-            &plan.kernel,
-            &plan.path,
-            &plan.forest,
-            csf,
-            factors,
-            workspace,
-            out,
-        ),
+        None => match tape {
+            Some(t) => execute_tape_into(t, &plan.kernel, csf, factors, workspace, out),
+            None => execute_forest_into(
+                &plan.kernel,
+                &plan.path,
+                &plan.forest,
+                csf,
+                factors,
+                workspace,
+                out,
+            ),
+        },
     };
     if res.is_ok() {
         *last_stats = match par.as_ref() {
@@ -252,12 +265,24 @@ impl Executor {
         }
         validate_slotted_operands(kernel, &csf, &factors)?;
 
+        // Tape engine (the default): compile the plan's nest to a flat
+        // instruction program exactly once per bind; serial and
+        // parallel executions share the same immutable tape.
+        let tape = match plan.exec.engine {
+            Engine::Tape => Some(Arc::new(CompiledTape::compile(
+                kernel,
+                &plan.path,
+                &plan.forest,
+                &plan.buffers,
+            )?)),
+            Engine::Interp => None,
+        };
         // Parallel engine: only when the plan asks for >1 thread and the
         // tensor actually splits (a single tile would duplicate the
         // serial path with extra copies).
         let threads = plan.exec.threads.resolve();
         let par = if threads > 1 {
-            let engine = ParallelExecutor::new(
+            let mut engine = ParallelExecutor::new(
                 kernel,
                 &plan.path,
                 &plan.forest,
@@ -265,6 +290,9 @@ impl Executor {
                 &csf,
                 threads,
             );
+            if let Some(t) = &tape {
+                engine = engine.with_tape(Arc::clone(t));
+            }
             (engine.n_tiles() > 1).then_some(engine)
         } else {
             None
@@ -272,11 +300,16 @@ impl Executor {
         // The serial workspace backs only the `par == None` path; when
         // the engine owns per-thread workspaces, keep a spec-free
         // placeholder instead of a dead replica of every Eq.-5 buffer.
-        let workspace = if par.is_some() {
+        let mut workspace = if par.is_some() {
             Workspace::from_specs(kernel, &plan.path, &plan.forest, &[])
         } else {
             Workspace::from_specs(kernel, &plan.path, &plan.forest, &plan.buffers)
         };
+        if par.is_none() {
+            if let Some(t) = &tape {
+                workspace.prepare_tape(t);
+            }
+        }
         let (out_dense, out_vals, coo_template) = if kernel.output_sparse {
             (
                 DenseTensor::zeros(&[]),
@@ -298,6 +331,7 @@ impl Executor {
             slots_by_name,
             workspace,
             par,
+            tape,
             leaf_perm,
             last_stats: ExecStats::default(),
             out_dense,
@@ -334,6 +368,21 @@ impl Executor {
     /// tile count, or 1 on the serial path.
     pub fn threads(&self) -> usize {
         self.par.as_ref().map_or(1, ParallelExecutor::n_tiles)
+    }
+
+    /// The engine executions run on ([`Engine::Tape`] by default).
+    pub fn engine(&self) -> Engine {
+        match self.tape {
+            Some(_) => Engine::Tape,
+            None => Engine::Interp,
+        }
+    }
+
+    /// The compiled instruction tape, when running on [`Engine::Tape`]
+    /// (exposed for diagnostics: program size, cursor and finger
+    /// counts).
+    pub fn tape(&self) -> Option<&CompiledTape> {
+        self.tape.as_deref()
     }
 
     /// Microkernel dispatch counters of the most recent
@@ -373,6 +422,7 @@ impl Executor {
             factors,
             workspace,
             par,
+            tape,
             last_stats,
             coo_template,
             ..
@@ -397,6 +447,7 @@ impl Executor {
                     factors,
                     workspace,
                     par,
+                    tape,
                     last_stats,
                     OutputMut::Dense(d),
                 )
@@ -432,6 +483,7 @@ impl Executor {
                     factors,
                     workspace,
                     par,
+                    tape,
                     last_stats,
                     OutputMut::Sparse(c.vals_mut()),
                 )
@@ -449,6 +501,7 @@ impl Executor {
             factors,
             workspace,
             par,
+            tape,
             last_stats,
             out_dense,
             out_vals,
@@ -462,6 +515,7 @@ impl Executor {
                 factors,
                 workspace,
                 par,
+                tape,
                 last_stats,
                 OutputMut::Sparse(out_vals),
             )?;
@@ -479,6 +533,7 @@ impl Executor {
                 factors,
                 workspace,
                 par,
+                tape,
                 last_stats,
                 OutputMut::Dense(out_dense),
             )?;

@@ -74,11 +74,13 @@ pub mod contraction;
 pub mod executor;
 
 pub use cache::{PlanCache, PlanKey};
-pub use contraction::{Contraction, CostModel, ExecOptions, Plan, PlanOptions, Shapes, Threads};
+pub use contraction::{
+    Contraction, CostModel, Engine, ExecOptions, Plan, PlanOptions, Shapes, Threads,
+};
 pub use executor::Executor;
 pub use spttn_core::{Result, Scalar, SpttnError};
 pub use spttn_cost::{ModeOrderPolicy, OrderCost};
-pub use spttn_exec::{ContractionOutput, ExecStats};
+pub use spttn_exec::{CompiledTape, ContractionOutput, ExecStats};
 
 /// Cost models and loop-order search (re-export of `spttn-cost`).
 pub use spttn_cost as cost;

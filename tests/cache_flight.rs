@@ -103,3 +103,41 @@ fn failed_flights_are_not_cached() {
         .unwrap();
     assert_eq!(cache.len(), 1);
 }
+
+/// A cache hit must honor the *caller's* execution options, not the
+/// flight leader's: the symbolic nest is shared, but engine and thread
+/// count are re-applied on mismatch. Matching options keep sharing one
+/// `Arc` (no clone).
+#[test]
+fn cache_hit_reapplies_callers_exec_options() {
+    use spttn::{Engine, Threads};
+    let cache = PlanCache::new();
+    let tape_opts = PlanOptions::default();
+    let p1 = cache
+        .plan(Contraction::parse(EXPR).unwrap(), &shapes(), &tape_opts)
+        .unwrap();
+    assert_eq!(p1.exec().engine, Engine::Tape);
+
+    // Same key, different engine: hit, but the returned plan must bind
+    // the interpreter (the documented oracle cross-check workflow).
+    let interp_opts = PlanOptions::default().with_engine(Engine::Interp);
+    let p2 = cache
+        .plan(Contraction::parse(EXPR).unwrap(), &shapes(), &interp_opts)
+        .unwrap();
+    assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    assert_eq!(p2.exec().engine, Engine::Interp);
+    assert!(!Arc::ptr_eq(&p1, &p2), "mismatched exec needs a new Arc");
+
+    // Different thread count likewise.
+    let par_opts = PlanOptions::default().with_threads(Threads::N(4));
+    let p3 = cache
+        .plan(Contraction::parse(EXPR).unwrap(), &shapes(), &par_opts)
+        .unwrap();
+    assert_eq!(p3.exec().threads, Threads::N(4));
+
+    // Matching options keep sharing the cached Arc untouched.
+    let p4 = cache
+        .plan(Contraction::parse(EXPR).unwrap(), &shapes(), &tape_opts)
+        .unwrap();
+    assert!(Arc::ptr_eq(&p1, &p4));
+}

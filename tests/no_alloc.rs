@@ -1,9 +1,13 @@
 //! Acceptance criterion: `Executor::execute_into` performs **zero heap
-//! allocations** after construction.
+//! allocations** after construction — on the default tape engine
+//! (whose compiled program and driver state are preallocated at bind)
+//! as well as the interpreter — and a threaded tape execution performs
+//! **zero atomic-stats RMWs on the hot path**: the global stats shim
+//! is fed by a bounded per-execution fold, never per-dispatch.
 //!
 //! A counting global allocator wraps the system allocator; the test
 //! binary holds exactly one test function so no concurrent test can
-//! perturb the counter between the before/after reads.
+//! perturb the counters between the before/after reads.
 
 use rand::prelude::*;
 use spttn::tensor::{random_coo, random_dense, Csf, SparsityProfile};
@@ -127,20 +131,43 @@ fn execute_into_performs_zero_heap_allocations() {
         .unwrap();
     let mut exec = plan.bind(csf, &[("A", &a3), ("B", &b3)]).unwrap();
     assert!(exec.threads() > 1, "parallel engine should engage");
+    assert_eq!(
+        exec.engine(),
+        spttn::Engine::Tape,
+        "the tape engine is the default"
+    );
     let mut out = exec.output_template();
 
     // Warm-up: first run lets lazy thread-local/park state initialize.
     exec.execute_into(&mut out).unwrap();
     exec.execute_into(&mut out).unwrap();
 
+    let runs = 3u64;
     let before = ALLOCATIONS.load(Ordering::SeqCst);
-    for _ in 0..3 {
+    let rmw_before = spttn::exec::interp::stats::rmw_ops();
+    for _ in 0..runs {
         exec.execute_into(&mut out).unwrap();
     }
     let after = ALLOCATIONS.load(Ordering::SeqCst);
+    let rmw_after = spttn::exec::interp::stats::rmw_ops();
     assert_eq!(
         after - before,
         0,
         "threaded execute_into allocated on the heap"
+    );
+    // Zero atomic-stats RMWs on the hot path: the only atomics touched
+    // are the end-of-run folds into the global compat shim — at most 5
+    // counters per tile per execution, independent of how many
+    // thousands of microkernels dispatched.
+    let rmw = rmw_after - rmw_before;
+    let fold_bound = 5 * exec.threads() as u64 * runs;
+    assert!(
+        rmw <= fold_bound,
+        "threaded tape execution performed {rmw} atomic-stats RMWs \
+         (fold-only bound is {fold_bound})"
+    );
+    assert!(
+        exec.last_stats().total() > fold_bound,
+        "workload too small to distinguish per-op RMWs from folds"
     );
 }

@@ -1,0 +1,260 @@
+//! Differential harness: the tape engine vs the oracle interpreter.
+//!
+//! Every standard kernel (MTTKRP, TTMc, TTTP, all-mode TTMc, SpMV)
+//! plus randomized 3-/4-mode expressions, under **all four cost
+//! models × threads {1, 4} × engines {Tape, Interp}**: the two engines
+//! must agree to ≤1e-9 everywhere, parallel reductions must be
+//! bitwise-reproducible run to run, and the `+=` accumulate and
+//! rebinding (`set_factor` / `set_sparse_values`) paths must behave
+//! identically on both engines.
+
+use rand::prelude::*;
+use spttn::ir::{stdkernels, Kernel};
+use spttn::tensor::{random_coo, random_dense, Csf, DenseTensor, SparsityProfile};
+use spttn::{
+    Contraction, ContractionOutput, CostModel, Engine, Executor, PlanOptions, Shapes, Threads,
+};
+
+const TOL: f64 = 1e-9;
+
+const MODELS: [CostModel; 4] = [
+    CostModel::MaxBufferDim,
+    CostModel::MaxBufferSize,
+    CostModel::CacheMiss { d: 1 },
+    CostModel::BlasAware {
+        buffer_dim_bound: 2,
+    },
+];
+
+fn operands(kernel: &Kernel, nnz: usize, seed: u64) -> (Csf, Vec<(String, DenseTensor)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dims = kernel.ref_dims(kernel.sparse_ref());
+    let coo = random_coo(&dims, nnz, &mut rng).unwrap();
+    let order: Vec<usize> = (0..dims.len()).collect();
+    let csf = Csf::from_coo(&coo, &order).unwrap();
+    let mut factors = Vec::new();
+    for (slot, r) in kernel.inputs.iter().enumerate() {
+        if slot == kernel.sparse_input {
+            continue;
+        }
+        if factors.iter().any(|(n, _)| *n == r.name) {
+            continue;
+        }
+        factors.push((r.name.clone(), random_dense(&kernel.ref_dims(r), &mut rng)));
+    }
+    (csf, factors)
+}
+
+fn bind_at(
+    kernel: &Kernel,
+    csf: &Csf,
+    factors: &[(String, DenseTensor)],
+    model: CostModel,
+    threads: usize,
+    engine: Engine,
+) -> Executor {
+    let plan = Contraction::from_kernel(kernel.clone())
+        .plan(
+            &Shapes::new().with_profile(SparsityProfile::from_csf(csf)),
+            &PlanOptions::with_cost_model(model)
+                .with_threads(Threads::N(threads))
+                .with_engine(engine),
+        )
+        .expect("planning succeeds");
+    let refs: Vec<(&str, &DenseTensor)> = factors.iter().map(|(n, t)| (n.as_str(), t)).collect();
+    plan.bind(csf.clone(), &refs).expect("bind succeeds")
+}
+
+fn bits(out: &ContractionOutput) -> Vec<u64> {
+    out.to_dense()
+        .as_slice()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+/// The full matrix: kernels × models × threads, tape vs interpreter
+/// ≤1e-9 (the engines mirror each other's operation order, so they are
+/// bitwise equal in practice) and bitwise run-to-run reproducibility
+/// per engine.
+fn differential(kernel: &Kernel, nnz: usize, seed: u64) {
+    let (csf, factors) = operands(kernel, nnz, seed);
+    for model in MODELS {
+        for threads in [1usize, 4] {
+            let mut interp = bind_at(kernel, &csf, &factors, model, threads, Engine::Interp);
+            let mut tape = bind_at(kernel, &csf, &factors, model, threads, Engine::Tape);
+            assert_eq!(tape.engine(), Engine::Tape);
+            assert_eq!(interp.engine(), Engine::Interp);
+            let a = interp.execute().unwrap();
+            let b = tape.execute().unwrap();
+            assert!(
+                a.to_dense().approx_eq(&b.to_dense(), TOL),
+                "engines diverged: {} under {model:?} at {threads} threads",
+                kernel.to_einsum()
+            );
+            // Same dispatch decisions on both engines.
+            assert_eq!(
+                interp.last_stats().total(),
+                tape.last_stats().total(),
+                "dispatch counts diverged: {} under {model:?}",
+                kernel.to_einsum()
+            );
+            // Bitwise-identical parallel reductions, run to run.
+            let b2 = tape.execute().unwrap();
+            assert_eq!(bits(&b), bits(&b2), "tape is not run-to-run bitwise stable");
+            let a2 = interp.execute().unwrap();
+            assert_eq!(
+                bits(&a),
+                bits(&a2),
+                "interp is not run-to-run bitwise stable"
+            );
+        }
+    }
+}
+
+#[test]
+fn mttkrp_differential() {
+    differential(&stdkernels::mttkrp(&[40, 30, 35], 8), 900, 1);
+}
+
+#[test]
+fn ttmc_differential() {
+    differential(&stdkernels::ttmc(&[30, 25, 28], &[5, 6]), 700, 2);
+}
+
+#[test]
+fn tttp_differential() {
+    differential(&stdkernels::tttp(&[18, 20, 22], 5), 600, 3);
+}
+
+#[test]
+fn all_mode_ttmc_differential() {
+    differential(
+        &stdkernels::all_mode_ttmc(&[14, 15, 16], &[4, 5, 6]),
+        500,
+        4,
+    );
+}
+
+#[test]
+fn spmv_differential() {
+    // SpMV through the expression front door (order-2 sparse input).
+    let kernel = spttn::ir::parse_kernel("y(i) = M(i,j) * x(j)", &[("i", 50), ("j", 60)]).unwrap();
+    differential(&kernel, 400, 5);
+}
+
+#[test]
+fn randomized_3mode_expression_differential() {
+    // A tensor-train-style 3-mode contraction (TTTc shape).
+    let kernel = stdkernels::tttc(&[16, 17, 18], 4);
+    differential(&kernel, 450, 6);
+}
+
+#[test]
+fn randomized_4mode_expression_differential() {
+    // Order-4 TTMc: deeper nests, two intermediate buffers.
+    differential(&stdkernels::ttmc(&[12, 10, 11, 9], &[3, 4, 5]), 500, 7);
+}
+
+/// `+=` accumulate path: both engines stack two executions on top of
+/// the bound output identically.
+#[test]
+fn accumulate_path_matches_across_engines() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let coo = random_coo(&[24, 20, 22], 500, &mut rng).unwrap();
+    let csf = Csf::from_coo(&coo, &[0, 1, 2]).unwrap();
+    let b = random_dense(&[20, 6], &mut rng);
+    let c = random_dense(&[22, 6], &mut rng);
+    let shapes = Shapes::new()
+        .with_dims(&[("i", 24), ("j", 20), ("k", 22), ("a", 6)])
+        .with_profile(SparsityProfile::from_csf(&csf));
+    let mut outs = Vec::new();
+    for engine in [Engine::Interp, Engine::Tape] {
+        for threads in [1usize, 4] {
+            let plan = Contraction::parse("A(i,a) += T(i,j,k) * B(j,a) * C(k,a)")
+                .unwrap()
+                .plan(
+                    &shapes,
+                    &PlanOptions::with_cost_model(CostModel::BlasAware {
+                        buffer_dim_bound: 2,
+                    })
+                    .with_threads(Threads::N(threads))
+                    .with_engine(engine),
+                )
+                .unwrap();
+            assert!(plan.accumulate());
+            let mut exec = plan.bind(csf.clone(), &[("B", &b), ("C", &c)]).unwrap();
+            let mut out = exec.output_template();
+            exec.execute_into(&mut out).unwrap();
+            exec.execute_into(&mut out).unwrap(); // accumulates: 2×
+            outs.push(out.to_dense());
+        }
+    }
+    for o in &outs[1..] {
+        assert!(
+            outs[0].approx_eq(o, TOL),
+            "accumulate path diverged across engines/threads"
+        );
+    }
+}
+
+/// Rebinding path: `set_factor` + `set_sparse_values` feed both
+/// engines identically (ALS-sweep shape).
+#[test]
+fn rebind_path_matches_across_engines() {
+    let kernel = stdkernels::mttkrp(&[30, 24, 26], 7);
+    let (csf, factors) = operands(&kernel, 700, 31);
+    let mut rng = StdRng::seed_from_u64(32);
+    let new_f1 = random_dense(&[24, 7], &mut rng);
+    let new_vals: Vec<f64> = csf.vals().iter().map(|v| v * 0.25 + 1.0).collect();
+    let mut outs = Vec::new();
+    for engine in [Engine::Interp, Engine::Tape] {
+        for threads in [1usize, 4] {
+            let mut exec = bind_at(
+                &kernel,
+                &csf,
+                &factors,
+                CostModel::MaxBufferSize,
+                threads,
+                engine,
+            );
+            exec.execute().unwrap(); // stale state to overwrite
+            exec.set_factor("F1", &new_f1).unwrap();
+            exec.set_sparse_values(&new_vals).unwrap();
+            outs.push(exec.execute().unwrap().to_dense());
+        }
+    }
+    for o in &outs[1..] {
+        assert!(
+            outs[0].approx_eq(o, TOL),
+            "rebind path diverged across engines/threads"
+        );
+    }
+}
+
+/// Sparse (pattern-sharing) outputs accumulate and rebind identically
+/// on both engines too.
+#[test]
+fn sparse_output_accumulate_across_engines() {
+    let kernel = stdkernels::tttp(&[14, 15, 16], 4);
+    let (csf, factors) = operands(&kernel, 350, 41);
+    let mut outs = Vec::new();
+    for engine in [Engine::Interp, Engine::Tape] {
+        for threads in [1usize, 4] {
+            let mut exec = bind_at(
+                &kernel,
+                &csf,
+                &factors,
+                CostModel::MaxBufferDim,
+                threads,
+                engine,
+            );
+            let mut out = exec.output_template();
+            exec.execute_into(&mut out).unwrap();
+            outs.push(out.to_dense());
+        }
+    }
+    for o in &outs[1..] {
+        assert!(outs[0].approx_eq(o, TOL), "sparse outputs diverged");
+    }
+}
