@@ -16,6 +16,9 @@
 //!
 //! Exit codes: 0 success, 1 usage or pipeline error, 2 oracle mismatch.
 
+// The CLI only orchestrates the library: no unsafe code, ever.
+#![forbid(unsafe_code)]
+
 use rand::prelude::*;
 use spttn::exec::naive_einsum;
 use spttn::tensor::{load_coo, random_dense, read_tns, CooTensor, Csf, DenseTensor};
@@ -56,6 +59,8 @@ OPTIONS:
     --seed S              seed for the random dense factors [42]
     --repeat K            execute K times, report best wall time [1]
     --check               compare against the naive dense oracle (exit 2 on mismatch)
+    --verify              statically verify the compiled tape and print the
+                          proof summary (always on in debug builds)
     -h, --help            this text"
     );
     std::process::exit(1)
@@ -83,6 +88,7 @@ struct Args {
     seed: u64,
     repeat: usize,
     check: bool,
+    verify: bool,
 }
 
 fn parse_cost_model(s: &str) -> CostModel {
@@ -179,6 +185,7 @@ fn parse_args() -> Args {
         seed: 42,
         repeat: 1,
         check: false,
+        verify: false,
     };
     let value = |argv: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         argv.next()
@@ -231,6 +238,7 @@ fn parse_args() -> Args {
                     .max(1)
             }
             "--check" => args.check = true,
+            "--verify" => args.verify = true,
             "-h" | "--help" => usage(),
             other => fail(format!("unknown flag '{other}'")),
         }
@@ -391,7 +399,8 @@ fn main() {
     let opts = PlanOptions::with_cost_model(args.cost_model)
         .with_mode_order(args.mode_order.clone())
         .with_threads(Threads::N(args.threads))
-        .with_engine(args.engine);
+        .with_engine(args.engine)
+        .with_verify(args.verify);
 
     let t_plan = Instant::now();
     let plan = contraction
@@ -401,6 +410,15 @@ fn main() {
     print_plan(&plan);
     println!("planned in {plan_ms:.1} ms");
 
+    if args.verify {
+        // Static proof of the compiled program, before (or without)
+        // binding any data: loop structure, cursor bounds, Eq.-5 zero
+        // placement, resolver shape.
+        let report = plan
+            .verify_tape()
+            .unwrap_or_else(|e| fail(format!("verify: {e}")));
+        println!("{report}");
+    }
     if args.cmd == "plan" {
         return;
     }

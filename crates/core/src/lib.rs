@@ -10,6 +10,9 @@
 //! [`SpttnError`] so the `spttn` facade presents a single error surface
 //! for the whole parse → plan → execute pipeline.
 
+// Pure data and error plumbing: no unsafe code, ever.
+#![forbid(unsafe_code)]
+
 use spttn_ir::{FuseError, KernelError};
 use spttn_tensor::TensorError;
 

@@ -18,6 +18,9 @@
 //!   ([`candidate_orders`]), winners compared by `(flops, cost value)`;
 //!   [`ModeOrderPolicy`] is the knob the facade exposes.
 
+// Cost modeling and search are pure computation: no unsafe code, ever.
+#![forbid(unsafe_code)]
+
 pub mod blas;
 pub mod cache;
 pub mod dp;

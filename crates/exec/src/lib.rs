@@ -36,7 +36,13 @@
 //!   zero atomics on the hot path.
 //!
 //! A brute-force dense einsum oracle ([`naive_einsum`]) backs the
-//! correctness tests.
+//! correctness tests, and [`tape::verify`] statically proves every
+//! compiled tape well-formed (loop structure, cursor bounds, Eq.-5
+//! zero placement, resolver shape) before it ever runs.
+
+// The only unsafe code in the workspace lives in [`parallel`]; every
+// unsafe operation inside an unsafe fn must carry its own block.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod blas;
 pub mod interp;
@@ -50,4 +56,5 @@ pub use interp::{
 };
 pub use parallel::{execute_forest_parallel, tree_reduce_partials, ParallelExecutor};
 pub use reference::naive_einsum;
+pub use tape::verify::{TapeInvariantError, TapeReport};
 pub use tape::{execute_tape, execute_tape_into, execute_tape_tile_into, CompiledTape, TapeState};

@@ -571,6 +571,8 @@ impl ParallelExecutor {
                     self.pool.submit(i - 1, job);
                 }
                 let t0 = &self.tiles[0];
+                // SAFETY: tile 0's leaf range starts inside `v` and is
+                // disjoint from every range handed to the workers above.
                 let job0 = Job {
                     tile: t0,
                     ws: ws_base,

@@ -78,6 +78,9 @@ use spttn_ir::{
 use spttn_tensor::{Csf, CsfTile, DenseTensor};
 use std::ops::Range;
 
+#[path = "tape_verify.rs"]
+pub mod verify;
+
 /// Read-side backing store of a precompiled operand address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RBuf {
@@ -274,6 +277,30 @@ struct ResolverSpec {
     levels: Vec<ResLevel>,
 }
 
+/// Static operand-store extents captured at compile time, making a
+/// [`CompiledTape`] self-describing for [`CompiledTape::verify`]: the
+/// verifier proves cursor offsets in range against these lengths
+/// without needing the kernel or buffer specs back.
+#[derive(Debug, Clone)]
+struct TapeBounds {
+    /// Flat length of each dense factor slot (0 for the sparse slot,
+    /// which is never cursor-addressed).
+    factor_lens: Vec<usize>,
+    /// Flat length of each term's Eq.-5 buffer (0 when the term has
+    /// none — the final term writes the output instead).
+    buffer_lens: Vec<usize>,
+    /// Flat length of the dense output (0 for pattern-sharing sparse
+    /// outputs, which are node-addressed).
+    out_len: usize,
+    /// Declared extent of every kernel index.
+    index_dims: Vec<usize>,
+    /// Kernel index stored at each CSF level.
+    level_index: Vec<IndexId>,
+    /// Whether the output shares the sparse pattern (node-addressed
+    /// `SparseCell` writes instead of dense cursor writes).
+    output_sparse: bool,
+}
+
 /// A loop forest lowered to a flat instruction program.
 ///
 /// Immutable once compiled and shared by every executing thread; the
@@ -292,6 +319,7 @@ pub struct CompiledTape {
     n_terms: usize,
     max_depth: usize,
     forest_stamp: u64,
+    bounds: TapeBounds,
 }
 
 /// Invalid/uninitialized finger parent marker.
@@ -416,6 +444,33 @@ impl CompiledTape {
             loops: Vec::new(),
         };
         c.compile_siblings(&forest.roots, n_terms)?;
+        let mut buffer_lens = vec![0usize; n_terms];
+        for s in specs {
+            buffer_lens[s.producer] = s.dims.iter().product();
+        }
+        let bounds = TapeBounds {
+            factor_lens: kernel
+                .inputs
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    if i == kernel.sparse_input {
+                        0
+                    } else {
+                        kernel.ref_dims(r).iter().product()
+                    }
+                })
+                .collect(),
+            buffer_lens,
+            out_len: if kernel.output_sparse {
+                0
+            } else {
+                kernel.ref_dims(&kernel.output).iter().product()
+            },
+            index_dims: (0..kernel.num_indices()).map(|i| kernel.dim(i)).collect(),
+            level_index: kernel.csf_index_order().to_vec(),
+            output_sparse: kernel.output_sparse,
+        };
         Ok(CompiledTape {
             instrs: c.instrs,
             adv: c.adv,
@@ -427,6 +482,7 @@ impl CompiledTape {
             n_terms,
             max_depth: forest.max_depth(),
             forest_stamp: forest_stamp(forest),
+            bounds,
         })
     }
 
@@ -470,6 +526,19 @@ impl CompiledTape {
     /// Number of finger-search sites (searched resolver levels).
     pub fn num_fingers(&self) -> usize {
         self.n_fingers
+    }
+
+    /// Statically prove the compiled program well-formed — see the
+    /// [`verify`] module for the invariants checked.
+    ///
+    /// Abstractly interprets every instruction without touching data:
+    /// loop structure, frame-stack depth, cursor bounds under declared
+    /// extents, Eq.-5 zero-before-accumulate domination, resolver
+    /// shape, and operand-index ranges. Cost is O(program size),
+    /// independent of the tensors; `Plan::bind` runs it on every debug
+    /// build and behind `PlanOptions::with_verify(true)` in release.
+    pub fn verify(&self) -> std::result::Result<verify::TapeReport, verify::TapeInvariantError> {
+        verify::verify(self)
     }
 }
 

@@ -57,6 +57,7 @@ fn ttmc_setup(seed: u64) -> (Kernel, CooTensor, Vec<DenseTensor>) {
 
 /// Listing 3: 1-d buffer, sparse k loop, trailing dense s (AXPY path).
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn ttmc_listing3_matches_oracle() {
     let (k, coo, f) = ttmc_setup(1);
     let before = spttn_exec::interp::stats::snapshot();
@@ -75,6 +76,7 @@ fn ttmc_listing3_matches_oracle() {
 
 /// Listing 4: scalar buffer, dense s above sparse k (DOT-free generic).
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn ttmc_listing4_matches_oracle() {
     let (k, coo, f) = ttmc_setup(2);
     let got = run(
@@ -91,6 +93,7 @@ fn ttmc_listing4_matches_oracle() {
 /// Listing 2 (unfused): 3-d materialized buffer; the consumer
 /// re-descends the CSF below its own dense s loop.
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn ttmc_unfused_matches_oracle() {
     let (k, coo, f) = ttmc_setup(3);
     let got = run(
@@ -106,6 +109,7 @@ fn ttmc_unfused_matches_oracle() {
 
 /// Fig. 1d: dense-first path (U·V materialized, then contracted with T).
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn ttmc_dense_first_path_matches_oracle() {
     let (k, coo, f) = ttmc_setup(4);
     let got = run(
@@ -121,6 +125,7 @@ fn ttmc_dense_first_path_matches_oracle() {
 
 /// MTTKRP fused factorize schedule (paper Sec. 2.4.2).
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn mttkrp_factorized_matches_oracle() {
     let k = parse_kernel(
         "A(i,a) = T(i,j,k) * B(j,a) * C(k,a)",
@@ -147,6 +152,7 @@ fn mttkrp_factorized_matches_oracle() {
 /// TTTP: pattern-sharing output, pre-sparse dense term fused under the
 /// sparse descent.
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn tttp_sparse_output_matches_oracle() {
     let k = parse_kernel(
         "S(i,j,k) = T(i,j,k) * U(i,r) * V(j,r) * W(k,r)",
@@ -178,6 +184,7 @@ fn tttp_sparse_output_matches_oracle() {
 
 /// Rank-1 outer product intermediate: exercises the GER dispatch.
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn ger_dispatch_matches_oracle() {
     let k = parse_kernel(
         "S(i,r,s) = T(i) * U(r) * V(s)",
@@ -204,6 +211,7 @@ fn ger_dispatch_matches_oracle() {
 
 /// Matrix-times-vector intermediate: exercises the GEMV dispatch.
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn gemv_dispatch_matches_oracle() {
     let k = parse_kernel(
         "C(i) = T(k) * A(i,j) * B(j)",
@@ -234,6 +242,7 @@ fn gemv_dispatch_matches_oracle() {
 
 /// Shape validation: wrong factor dims and wrong CSF order are rejected.
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn executor_validates_shapes() {
     let (k, coo, f) = ttmc_setup(9);
     let path = path_from_picks(&k, &[(0, 2), (0, 1)]);
@@ -256,6 +265,7 @@ fn executor_validates_shapes() {
 
 /// Order-4 TTMc with the Fig. 6 nest: two buffers, deep fusion.
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn order4_ttmc_fig6_matches_oracle() {
     let k = parse_kernel(
         "S(i,r,s,t) = T(i,j,k,l) * U(j,r) * V(k,s) * W(l,t)",
@@ -297,6 +307,7 @@ fn order4_ttmc_fig6_matches_oracle() {
 /// accumulate contract of `execute_forest_into` must hold: contributions
 /// add on top of whatever the caller left in the output.
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn workspace_reuse_is_deterministic_and_accumulating() {
     use spttn_exec::{execute_forest_into, OutputMut, Workspace};
 
@@ -375,6 +386,7 @@ fn workspace_reuse_is_deterministic_and_accumulating() {
 /// different forest of the same kernel/path — its buffer shapes would
 /// silently disagree.
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn workspace_from_other_forest_is_rejected() {
     use spttn_exec::{execute_forest_into, OutputMut, Workspace};
 

@@ -85,6 +85,7 @@ fn serial(f: &Fixture) -> ContractionOutput {
 }
 
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn scoped_parallel_matches_serial() {
     for fixture in [ttmc_fixture(11), tttp_fixture(12)] {
         let want = serial(&fixture).to_dense();
@@ -152,6 +153,7 @@ fn parallel_executor_matches_serial_and_is_deterministic() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn parallel_executor_sparse_output_disjoint_ranges() {
     let fixture = tttp_fixture(22);
     let want = serial(&fixture).to_dense();
@@ -203,6 +205,7 @@ fn parallel_executor_sparse_output_disjoint_ranges() {
 /// same-nnz tensor with a different pattern must be rejected, not
 /// silently half-executed.
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn parallel_executor_rejects_different_structure() {
     let fixture = ttmc_fixture(31);
     let slots = slotted(&fixture);
@@ -253,6 +256,7 @@ fn parallel_executor_rejects_different_structure() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn tile_partials_sum_to_full_output() {
     let fixture = ttmc_fixture(23);
     let want = serial(&fixture).to_dense();

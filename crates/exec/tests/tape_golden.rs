@@ -45,6 +45,12 @@ fn run_both(
     let order: Vec<usize> = (0..coo.order()).collect();
     let csf = Csf::from_coo(coo, &order).unwrap();
     let refs: Vec<&DenseTensor> = factors.iter().collect();
+    // Every golden nest's compiled program must also pass the static
+    // verifier before we trust its output.
+    CompiledTape::from_forest(kernel, &path, &forest)
+        .unwrap()
+        .verify()
+        .expect("golden tape verifies clean");
     let interp = execute_forest(kernel, &path, &forest, &csf, &refs).unwrap();
     let tape = execute_tape(kernel, &path, &forest, &csf, &refs).unwrap();
     match (&interp, &tape) {
@@ -75,6 +81,7 @@ fn ttmc_setup(seed: u64) -> (Kernel, CooTensor, Vec<DenseTensor>) {
 /// Listing 3: 1-d buffer, sparse k loop, trailing dense s (AXPY path),
 /// all CSF levels tracked — no searches at all on either engine.
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn ttmc_listing3_matches_oracle() {
     let (k, coo, f) = ttmc_setup(1);
     let got = run_both(
@@ -91,6 +98,7 @@ fn ttmc_listing3_matches_oracle() {
 /// Listing 4: dense s *above* sparse k — the sparse loop re-resolves
 /// its parent per s iteration. This is the finger-search path.
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn ttmc_listing4_finger_search_matches_oracle() {
     let (k, coo, f) = ttmc_setup(2);
     let got = run_both(
@@ -107,6 +115,7 @@ fn ttmc_listing4_finger_search_matches_oracle() {
 /// Listing 2 (unfused): the consumer re-descends the CSF below its own
 /// dense s loop — multi-level finger resolution.
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn ttmc_unfused_redescent_matches_oracle() {
     let (k, coo, f) = ttmc_setup(3);
     let got = run_both(
@@ -122,6 +131,7 @@ fn ttmc_unfused_redescent_matches_oracle() {
 
 /// Fig. 1d: dense-first path (U·V materialized, then contracted with T).
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn ttmc_dense_first_path_matches_oracle() {
     let (k, coo, f) = ttmc_setup(4);
     let got = run_both(
@@ -137,6 +147,7 @@ fn ttmc_dense_first_path_matches_oracle() {
 
 /// MTTKRP fused factorize schedule (AXPY/XMUL lowerings).
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn mttkrp_factorized_matches_oracle() {
     let k = parse_kernel(
         "A(i,a) = T(i,j,k) * B(j,a) * C(k,a)",
@@ -162,6 +173,7 @@ fn mttkrp_factorized_matches_oracle() {
 /// TTTP: pattern-sharing output written through the tape's resolved
 /// leaf nodes.
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn tttp_sparse_output_matches_oracle() {
     let k = parse_kernel(
         "S(i,j,k) = T(i,j,k) * U(i,r) * V(j,r) * W(k,r)",
@@ -192,6 +204,7 @@ fn tttp_sparse_output_matches_oracle() {
 
 /// Rank-1 outer product intermediate: the GER lowering.
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn ger_lowering_matches_oracle() {
     let k = parse_kernel(
         "S(i,r,s) = T(i) * U(r) * V(s)",
@@ -214,6 +227,7 @@ fn ger_lowering_matches_oracle() {
 
 /// Matrix-times-vector intermediate: the GEMV lowering.
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn gemv_lowering_matches_oracle() {
     let k = parse_kernel(
         "C(i) = T(k) * A(i,j) * B(j)",
@@ -239,6 +253,7 @@ fn gemv_lowering_matches_oracle() {
 
 /// Order-4 TTMc with the Fig. 6 nest: two buffers, deep fusion.
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn order4_ttmc_fig6_matches_oracle() {
     let k = parse_kernel(
         "S(i,r,s,t) = T(i,j,k,l) * U(j,r) * V(k,s) * W(l,t)",
@@ -279,6 +294,7 @@ fn order4_ttmc_fig6_matches_oracle() {
 /// few seeds, so loop shapes beyond the handcrafted listings hit both
 /// engines (the tape must never diverge, whatever the nest).
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn randomized_nests_agree_with_interpreter() {
     use spttn_ir::{enumerate_paths, NestSpecIter};
     let (k, coo, f) = ttmc_setup(42);
@@ -319,6 +335,7 @@ fn randomized_nests_agree_with_interpreter() {
 /// coordinates read zero by lineage pruning. Build such a forest
 /// directly by flipping the root vertex of Listing 3 to dense.
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn finger_search_beats_binary_search_probes() {
     use spttn_ir::{LoopNode, VertexKind};
     let k = parse_kernel(
@@ -364,6 +381,9 @@ fn finger_search_beats_binary_search_probes() {
 
     let tape = CompiledTape::from_forest(&k, &path, &forest).unwrap();
     assert!(tape.num_fingers() > 0, "nest must need re-resolution");
+    // The finger-search program (the only resolver-bearing tape in the
+    // suite) must satisfy the verifier's monotone-descent rules.
+    tape.verify().expect("resolver tape verifies clean");
     let mut ws2 = Workspace::new(&k, &path, &forest);
     ws2.prepare_tape(&tape);
     let mut out2 = DenseTensor::zeros(&k.ref_dims(&k.output));
@@ -407,6 +427,7 @@ fn finger_search_beats_binary_search_probes() {
 /// A workspace built for a different forest is rejected by the tape
 /// runner, mirroring the interpreter's stamp check.
 #[test]
+#[cfg_attr(miri, ignore)] // too slow under the interpreter
 fn tape_rejects_mismatched_workspace() {
     let (k, coo, factors) = ttmc_setup(78);
     let path = path_from_picks(&k, &[(0, 2), (0, 1)]);

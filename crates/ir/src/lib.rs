@@ -17,6 +17,9 @@
 //! - [`BufferSpec`] / [`buffers_for_forest`]: intermediate tensors from
 //!   Eq. 5.
 
+// The IR is pure symbolic manipulation: no unsafe code, ever.
+#![forbid(unsafe_code)]
+
 pub mod buffer;
 pub mod fuse;
 pub mod index;

@@ -32,6 +32,9 @@
 //! order, which is how plans produced by the mode-order search attach
 //! to data ingested in natural order.
 
+// All tensor storage is safe Rust: no unsafe code, ever.
+#![forbid(unsafe_code)]
+
 pub mod coo;
 pub mod csf;
 pub mod dense;

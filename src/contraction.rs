@@ -132,6 +132,11 @@ pub struct ExecOptions {
     pub threads: Threads,
     /// Engine executions run on (default [`Engine::Tape`]).
     pub engine: Engine,
+    /// Statically verify the compiled tape at bind time
+    /// ([`CompiledTape::verify`](spttn_exec::CompiledTape::verify))
+    /// even in release builds. Debug builds always verify; the check
+    /// is O(program size) and runs once per bind, never per execute.
+    pub verify: bool,
 }
 
 impl Default for ExecOptions {
@@ -141,6 +146,7 @@ impl Default for ExecOptions {
         ExecOptions {
             threads: Threads::N(1),
             engine: Engine::Tape,
+            verify: false,
         }
     }
 }
@@ -206,6 +212,16 @@ impl PlanOptions {
     /// interpreter — the differential-testing oracle.
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.exec.engine = engine;
+        self
+    }
+
+    /// Statically verify the compiled tape at bind time even in
+    /// release builds (builder style). Debug builds always verify.
+    /// Like every [`ExecOptions`] field this is honored on
+    /// [`crate::PlanCache`] hits too — cached plans are re-bound with
+    /// the caller's options, not the flight leader's.
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.exec.verify = verify;
         self
     }
 

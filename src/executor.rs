@@ -26,7 +26,7 @@ use crate::contraction::{Engine, Plan};
 use crate::{Result, SpttnError};
 use spttn_exec::{
     execute_forest_into, execute_tape_into, validate_slotted_operands, CompiledTape,
-    ContractionOutput, ExecStats, OutputMut, ParallelExecutor, Workspace,
+    ContractionOutput, ExecStats, OutputMut, ParallelExecutor, TapeReport, Workspace,
 };
 use spttn_tensor::{CooTensor, Csf, DenseTensor};
 use std::collections::HashMap;
@@ -92,6 +92,20 @@ impl Plan {
     /// slot skipped). Shared by [`Plan::bind`] and the one-shot facade.
     pub(crate) fn bind_ordered(&self, csf: Csf, factors: Vec<DenseTensor>) -> Result<Executor> {
         self.clone().into_executor(csf, factors)
+    }
+
+    /// Compile this plan's nest to an instruction tape and statically
+    /// verify it without binding any data — the `spttn plan --verify`
+    /// path. Returns the proof summary on success; a malformed program
+    /// surfaces as an execution error naming the violated invariant.
+    ///
+    /// [`Plan::bind`] performs the same check on every debug build
+    /// (and, with [`crate::PlanOptions::with_verify`], in release), so
+    /// calling this is only needed to verify a plan that will not be
+    /// bound here — e.g. file-less planning.
+    pub fn verify_tape(&self) -> Result<TapeReport> {
+        let tape = CompiledTape::compile(&self.kernel, &self.path, &self.forest, &self.buffers)?;
+        tape.verify().map_err(SpttnError::from)
     }
 
     /// Consuming variant of [`Plan::bind_ordered`] (avoids the clone
@@ -269,12 +283,17 @@ impl Executor {
         // instruction program exactly once per bind; serial and
         // parallel executions share the same immutable tape.
         let tape = match plan.exec.engine {
-            Engine::Tape => Some(Arc::new(CompiledTape::compile(
-                kernel,
-                &plan.path,
-                &plan.forest,
-                &plan.buffers,
-            )?)),
+            Engine::Tape => {
+                let tape = CompiledTape::compile(kernel, &plan.path, &plan.forest, &plan.buffers)?;
+                // Static verification gate: every debug build proves
+                // the program well-formed before it can run;
+                // release builds opt in via
+                // `PlanOptions::with_verify(true)`.
+                if plan.exec.verify || cfg!(debug_assertions) {
+                    tape.verify().map_err(SpttnError::from)?;
+                }
+                Some(Arc::new(tape))
+            }
             Engine::Interp => None,
         };
         // Parallel engine: only when the plan asks for >1 thread and the

@@ -69,6 +69,10 @@
 //! assert_eq!(out.to_dense().dims(), &[30, 8]);
 //! ```
 
+// The facade only re-exports and composes the crates below; all
+// unsafe code in the workspace lives in `spttn_exec::parallel`.
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod contraction;
 pub mod executor;
@@ -80,7 +84,7 @@ pub use contraction::{
 pub use executor::Executor;
 pub use spttn_core::{Result, Scalar, SpttnError};
 pub use spttn_cost::{ModeOrderPolicy, OrderCost};
-pub use spttn_exec::{CompiledTape, ContractionOutput, ExecStats};
+pub use spttn_exec::{CompiledTape, ContractionOutput, ExecStats, TapeInvariantError, TapeReport};
 
 /// Cost models and loop-order search (re-export of `spttn-cost`).
 pub use spttn_cost as cost;

@@ -61,6 +61,13 @@ fn bind_at(
                 .with_engine(engine),
         )
         .expect("planning succeeds");
+    if engine == Engine::Tape {
+        // Every tape the differential suite runs must also prove out
+        // statically (bind re-checks this in debug builds; asserting
+        // here keeps the invariant visible in release runs too).
+        plan.verify_tape()
+            .expect("differential tape verifies clean");
+    }
     let refs: Vec<(&str, &DenseTensor)> = factors.iter().map(|(n, t)| (n.as_str(), t)).collect();
     plan.bind(csf.clone(), &refs).expect("bind succeeds")
 }
