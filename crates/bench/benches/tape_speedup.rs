@@ -1,32 +1,82 @@
-//! Tape engine vs interpreter: the same plans, bound once per
-//! (engine, thread-count), executed through the zero-allocation
-//! `execute_into` path on large MTTKRP and TTMc workloads.
+//! Tape engine vs interpreter vs SIMD microkernels: the same plans,
+//! bound once per (engine, microkernel policy, thread-count), executed
+//! through the zero-allocation `execute_into` path on large MTTKRP and
+//! TTMc workloads whose dense ranks (32 / 16) hit the rank-specialized
+//! microkernel variants.
 //!
 //! Run with `cargo bench -p spttn-bench --bench tape_speedup`; set
 //! `SPTTN_BENCH_JSON=BENCH_results.json` to emit the machine-readable
-//! artifact CI uploads. The acceptance bar for the tape engine is
-//! ≥1.3× over the interpreter at 1 thread on both kernels, and no
-//! regression at 4 threads; the measured speedups print explicitly.
+//! artifact CI uploads. Acceptance bars: the scalar tape keeps ≥1.3×
+//! over the interpreter at 1 thread, and the SIMD tape shows ≥1.5×
+//! over the scalar tape at 1 thread on at least one kernel; the
+//! measured speedups print explicitly.
 
 use rand::prelude::*;
 use spttn::ir::{stdkernels, Kernel};
 use spttn::tensor::{random_coo, random_dense, Csf, DenseTensor, SparsityProfile};
-use spttn::{Contraction, CostModel, Engine, ExecStats, Executor, PlanOptions, Shapes, Threads};
+use spttn::{
+    Contraction, CostModel, Engine, ExecStats, Executor, Microkernels, PlanOptions, Shapes, Threads,
+};
 use spttn_bench::{black_box, Harness};
 
 fn stats_json(s: &ExecStats) -> String {
     format!(
         "{{\"axpy\": {}, \"dot\": {}, \"xmul\": {}, \"ger\": {}, \"gemv\": {}, \
+         \"axpy_elems\": {}, \"dot_elems\": {}, \"xmul_elems\": {}, \"ger_elems\": {}, \
+         \"gemv_elems\": {}, \"elems\": {}, \"flops\": {}, \
          \"node_searches\": {}, \"search_probes\": {}}}",
-        s.axpy, s.dot, s.xmul, s.ger, s.gemv, s.node_searches, s.search_probes
+        s.axpy,
+        s.dot,
+        s.xmul,
+        s.ger,
+        s.gemv,
+        s.axpy_elems,
+        s.dot_elems,
+        s.xmul_elems,
+        s.ger_elems,
+        s.gemv_elems,
+        s.elems(),
+        s.flops(),
+        s.node_searches,
+        s.search_probes
     )
+}
+
+/// The three legs under comparison, in fixed row order.
+#[derive(Clone, Copy, PartialEq)]
+enum Leg {
+    Interp,
+    TapeScalar,
+    TapeSimd,
+}
+
+impl Leg {
+    fn engine(self) -> Engine {
+        match self {
+            Leg::Interp => Engine::Interp,
+            _ => Engine::Tape,
+        }
+    }
+    fn micro(self) -> Microkernels {
+        match self {
+            Leg::TapeSimd => Microkernels::Auto,
+            _ => Microkernels::Scalar,
+        }
+    }
+    fn label(self) -> &'static str {
+        match self {
+            Leg::Interp => "interp     ",
+            Leg::TapeScalar => "tape-scalar",
+            Leg::TapeSimd => "tape-simd  ",
+        }
+    }
 }
 
 fn bind_at(
     kernel: &Kernel,
     csf: &Csf,
     factors: &[(String, DenseTensor)],
-    engine: Engine,
+    leg: Leg,
     threads: usize,
 ) -> Executor {
     let plan = Contraction::from_kernel(kernel.clone())
@@ -36,7 +86,8 @@ fn bind_at(
                 buffer_dim_bound: 2,
             })
             .with_threads(Threads::N(threads))
-            .with_engine(engine),
+            .with_engine(leg.engine())
+            .with_microkernels(leg.micro()),
         )
         .expect("planning succeeds");
     let refs: Vec<(&str, &DenseTensor)> = factors.iter().map(|(n, t)| (n.as_str(), t)).collect();
@@ -73,26 +124,24 @@ fn main() {
         ),
         (
             "ttmc-large",
-            stdkernels::ttmc(&[384, 64, 64], &[16, 16]),
+            stdkernels::ttmc(&[384, 64, 64], &[32, 32]),
             vec![384, 64, 64],
-            200_000,
+            120_000,
         ),
     ];
+    const LEGS: [Leg; 3] = [Leg::Interp, Leg::TapeScalar, Leg::TapeSimd];
 
-    let mut h = Harness::new("tape_speedup: compiled tape vs interpreter");
+    let mut h = Harness::new("tape_speedup: interpreter vs scalar tape vs SIMD tape");
     let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
     for (name, kernel, dims, nnz) in &workloads {
         let (csf, factors) = operands(kernel, dims, *nnz, 17);
         for threads in [1usize, 4] {
-            for engine in [Engine::Interp, Engine::Tape] {
-                let mut exec = bind_at(kernel, &csf, &factors, engine, threads);
+            for leg in LEGS {
+                let mut exec = bind_at(kernel, &csf, &factors, leg, threads);
                 let mut out = exec.output_template();
                 let id = format!(
                     "{name} {} @ {threads}t [{} tiles]",
-                    match engine {
-                        Engine::Tape => "tape  ",
-                        Engine::Interp => "interp",
-                    },
+                    leg.label(),
                     exec.threads()
                 );
                 let mut last_stats = ExecStats::default();
@@ -101,14 +150,31 @@ fn main() {
                     last_stats = exec.last_stats();
                     black_box(out.to_dense().sum());
                 });
-                h.note(&id, stats_json(&last_stats));
+                let mut note = stats_json(&last_stats);
+                if let Some(tape) = exec.tape() {
+                    // Record which microkernel implementation the tape
+                    // bound, its vector width, and what the host CPU
+                    // advertises — so artifacts from different machines
+                    // stay comparable.
+                    note = format!(
+                        "{{\"stats\": {note}, \"microkernels\": \"{}\", \"kernel_width\": {}, \
+                         \"superinstructions\": {}, \"specialized\": {}, \"cpu\": \"{}\"}}",
+                        tape.microkernels(),
+                        tape.kernel_width(),
+                        tape.superinstructions(),
+                        tape.specialized(),
+                        spttn::exec::detected_cpu_features(),
+                    );
+                }
+                h.note(&id, note);
             }
         }
     }
     let results = h.finish();
     rows.extend(results);
 
-    // Speedups: interpreter row / tape row at the same workload+threads.
+    // Speedups per workload+threads triple: scalar tape vs interp, SIMD
+    // tape vs interp, and the headline SIMD-vs-scalar-tape ratio.
     // Median is the headline; min (fastest vs fastest) is the
     // least-noise estimator on busy machines.
     let median = |samples: &[f64]| {
@@ -117,17 +183,24 @@ fn main() {
         s[s.len() / 2]
     };
     let minimum = |samples: &[f64]| samples.iter().cloned().fold(f64::INFINITY, f64::min);
-    println!("\ntape speedup vs interpreter (median / min):");
-    for pair in rows.chunks(2) {
-        let [(iid, is), (tid, ts)] = pair else {
+    println!("\nspeedups (median / min):");
+    for triple in rows.chunks(3) {
+        let [(iid, is), (sid, ss), (vid, vs)] = triple else {
             continue;
         };
-        assert!(iid.contains("interp") && tid.contains("tape"), "row order");
+        assert!(
+            iid.contains("interp") && sid.contains("tape-scalar") && vid.contains("tape-simd"),
+            "row order"
+        );
         println!(
-            "{:<44} {:>6.2}x {:>6.2}x",
-            tid,
-            median(is) / median(ts),
-            minimum(is) / minimum(ts)
+            "{:<46} tape-scalar/interp {:>5.2}x {:>5.2}x | tape-simd/interp {:>5.2}x {:>5.2}x | tape-simd/tape-scalar {:>5.2}x {:>5.2}x",
+            iid.replace("interp      ", ""),
+            median(is) / median(ss),
+            minimum(is) / minimum(ss),
+            median(is) / median(vs),
+            minimum(is) / minimum(vs),
+            median(ss) / median(vs),
+            minimum(ss) / minimum(vs)
         );
     }
 }

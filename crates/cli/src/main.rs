@@ -23,8 +23,8 @@ use rand::prelude::*;
 use spttn::exec::naive_einsum;
 use spttn::tensor::{load_coo, random_dense, read_tns, CooTensor, Csf, DenseTensor};
 use spttn::{
-    Contraction, ContractionOutput, CostModel, Engine, ModeOrderPolicy, Plan, PlanOptions, Shapes,
-    Threads,
+    Contraction, ContractionOutput, CostModel, Engine, Microkernels, ModeOrderPolicy, Plan,
+    PlanOptions, Shapes, Threads,
 };
 use std::time::Instant;
 
@@ -53,6 +53,9 @@ OPTIONS:
     --threads N           execution threads [1]
     --engine E            tape (bind-time compiled instruction tape) |
                           interp (recursive oracle interpreter)  [tape]
+    --microkernels M      auto (explicit-SIMD kernels by CPU detection, fused
+                          superinstructions) | scalar (plain scalar kernels,
+                          bitwise-stable baseline)  [auto]
     --cost-model M        blas-aware[:BOUND] | max-buffer-dim | max-buffer-size |
                           cache-miss[:D]    [blas-aware:2]
     --mode-order P        natural | auto | L0,L1,... (written positions) [natural]
@@ -83,6 +86,7 @@ struct Args {
     dim_overrides: Vec<(String, usize)>,
     threads: usize,
     engine: Engine,
+    microkernels: Microkernels,
     cost_model: CostModel,
     mode_order: ModeOrderPolicy,
     seed: u64,
@@ -122,6 +126,16 @@ fn parse_engine(s: &str) -> Engine {
         "tape" => Engine::Tape,
         "interp" => Engine::Interp,
         other => fail(format!("unknown engine '{other}' (tape, interp)")),
+    }
+}
+
+fn parse_microkernels(s: &str) -> Microkernels {
+    match s {
+        "auto" => Microkernels::Auto,
+        "scalar" => Microkernels::Scalar,
+        other => fail(format!(
+            "unknown microkernel policy '{other}' (auto, scalar)"
+        )),
     }
 }
 
@@ -178,6 +192,7 @@ fn parse_args() -> Args {
         dim_overrides: Vec::new(),
         threads: 1,
         engine: Engine::Tape,
+        microkernels: Microkernels::Auto,
         cost_model: CostModel::BlasAware {
             buffer_dim_bound: 2,
         },
@@ -224,6 +239,9 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| fail("bad --threads value"))
             }
             "--engine" => args.engine = parse_engine(&value(&mut argv, "--engine")),
+            "--microkernels" => {
+                args.microkernels = parse_microkernels(&value(&mut argv, "--microkernels"))
+            }
             "--cost-model" => args.cost_model = parse_cost_model(&value(&mut argv, "--cost-model")),
             "--mode-order" => args.mode_order = parse_mode_order(&value(&mut argv, "--mode-order")),
             "--seed" => {
@@ -400,6 +418,7 @@ fn main() {
         .with_mode_order(args.mode_order.clone())
         .with_threads(Threads::N(args.threads))
         .with_engine(args.engine)
+        .with_microkernels(args.microkernels)
         .with_verify(args.verify);
 
     let t_plan = Instant::now();
@@ -464,10 +483,14 @@ fn main() {
         },
         exec.tape().map_or(String::new(), |t| {
             format!(
-                " ({} instrs, {} cursors, {} fingers)",
+                " ({} instrs, {} cursors, {} fingers; {} kernels ×{}, {} fused, {} specialized)",
                 t.num_instrs(),
                 t.num_cursors(),
-                t.num_fingers()
+                t.num_fingers(),
+                t.microkernels(),
+                t.kernel_width(),
+                t.superinstructions(),
+                t.specialized()
             )
         }),
         if plan.is_natural_order() {
@@ -498,13 +521,14 @@ fn main() {
         args.repeat
     );
     println!(
-        "stats: axpy {} dot {} xmul {} ger {} gemv {} ({} dispatches)",
+        "stats: axpy {} dot {} xmul {} ger {} gemv {} ({} dispatches over {} elements)",
         stats.axpy,
         stats.dot,
         stats.xmul,
         stats.ger,
         stats.gemv,
-        stats.total()
+        stats.total(),
+        stats.elems()
     );
     println!(
         "search: {} node re-resolutions, {} probes ({})",

@@ -65,6 +65,16 @@ pub struct ExecStats {
     /// search depth on the interpreter, galloping finger probes on the
     /// tape engine (see [`crate::tape`]).
     pub search_probes: u64,
+    /// Elements processed by AXPY dispatches (Σ n per call).
+    pub axpy_elems: u64,
+    /// Elements processed by DOT dispatches (Σ n per call).
+    pub dot_elems: u64,
+    /// Elements processed by elementwise ternary dispatches.
+    pub xmul_elems: u64,
+    /// Elements processed by GER dispatches (Σ m·n per call).
+    pub ger_elems: u64,
+    /// Elements processed by GEMV dispatches (Σ m·n per call).
+    pub gemv_elems: u64,
 }
 
 impl ExecStats {
@@ -78,12 +88,31 @@ impl ExecStats {
         self.gemv += other.gemv;
         self.node_searches += other.node_searches;
         self.search_probes += other.search_probes;
+        self.axpy_elems += other.axpy_elems;
+        self.dot_elems += other.dot_elems;
+        self.xmul_elems += other.xmul_elems;
+        self.ger_elems += other.ger_elems;
+        self.gemv_elems += other.gemv_elems;
     }
 
     /// Total microkernel dispatches (searches are not dispatches and
     /// are excluded).
     pub fn total(&self) -> u64 {
         self.axpy + self.dot + self.xmul + self.ger + self.gemv
+    }
+
+    /// Total elements processed across all microkernel dispatches —
+    /// the per-call work the call counts in [`ExecStats::total`] hide.
+    pub fn elems(&self) -> u64 {
+        self.axpy_elems + self.dot_elems + self.xmul_elems + self.ger_elems + self.gemv_elems
+    }
+
+    /// Floating-point operations implied by the element counters (two
+    /// flops — one multiply, one add — per element for every kernel;
+    /// XMUL's extra multiply makes it three).
+    pub fn flops(&self) -> u64 {
+        2 * (self.axpy_elems + self.dot_elems + self.ger_elems + self.gemv_elems)
+            + 3 * self.xmul_elems
     }
 }
 
@@ -1092,6 +1121,7 @@ impl<'a> Exec<'a> {
                         blas::dot(n, x, ls, y, rs)
                     };
                     self.stats.dot += 1;
+                    self.stats.dot_elems += n as u64;
                     self.accumulate_cell(t, v);
                     Ok(true)
                 } else {
@@ -1123,6 +1153,7 @@ impl<'a> Exec<'a> {
                         let x = slice_of(factors, reads, buf, base);
                         blas::axpy(n, c, x, s1, tgt, ts);
                         run_stats.axpy += 1;
+                        run_stats.axpy_elems += n as u64;
                         Ok(true)
                     }
                     (
@@ -1143,6 +1174,7 @@ impl<'a> Exec<'a> {
                         let z = slice_of(factors, reads, rb, rbase);
                         blas::xmul(n, 1.0, x, ls, z, rs, tgt, ts);
                         run_stats.xmul += 1;
+                        run_stats.xmul_elems += n as u64;
                         Ok(true)
                     }
                     (SrcMeta::Const(_), SrcMeta::Const(_)) => Ok(false),
@@ -1217,6 +1249,7 @@ impl<'a> Exec<'a> {
                 let y = slice_of(factors, reads, rb, rbase);
                 blas::ger(m, n, 1.0, x, l1, y, r2, tgt, t1, t2);
                 run_stats.ger += 1;
+                run_stats.ger_elems += (m * n) as u64;
                 return Ok(true);
             }
             if !lh1 && lh2 && rh1 && !rh2 {
@@ -1224,6 +1257,7 @@ impl<'a> Exec<'a> {
                 let y = slice_of(factors, reads, lb, lbase);
                 blas::ger(m, n, 1.0, x, r1, y, l2, tgt, t1, t2);
                 run_stats.ger += 1;
+                run_stats.ger_elems += (m * n) as u64;
                 return Ok(true);
             }
             return Ok(false);
@@ -1235,6 +1269,7 @@ impl<'a> Exec<'a> {
                 let x = slice_of(factors, reads, rb, rbase);
                 blas::gemv(m, n, 1.0, a, l1, l2, x, r2, tgt, t1);
                 run_stats.gemv += 1;
+                run_stats.gemv_elems += (m * n) as u64;
                 return Ok(true);
             }
             if rh1 && rh2 && !lh1 && lh2 {
@@ -1242,6 +1277,7 @@ impl<'a> Exec<'a> {
                 let x = slice_of(factors, reads, lb, lbase);
                 blas::gemv(m, n, 1.0, a, r1, r2, x, l2, tgt, t1);
                 run_stats.gemv += 1;
+                run_stats.gemv_elems += (m * n) as u64;
                 return Ok(true);
             }
             return Ok(false);
@@ -1253,6 +1289,7 @@ impl<'a> Exec<'a> {
                 let x = slice_of(factors, reads, rb, rbase);
                 blas::gemv(n, m, 1.0, a, l2, l1, x, r1, tgt, t2);
                 run_stats.gemv += 1;
+                run_stats.gemv_elems += (m * n) as u64;
                 return Ok(true);
             }
             if rh1 && rh2 && lh1 && !lh2 {
@@ -1260,6 +1297,7 @@ impl<'a> Exec<'a> {
                 let x = slice_of(factors, reads, lb, lbase);
                 blas::gemv(n, m, 1.0, a, r2, r1, x, l1, tgt, t2);
                 run_stats.gemv += 1;
+                run_stats.gemv_elems += (m * n) as u64;
                 return Ok(true);
             }
             return Ok(false);

@@ -39,15 +39,25 @@
 //! correctness tests, and [`tape::verify`] statically proves every
 //! compiled tape well-formed (loop structure, cursor bounds, Eq.-5
 //! zero placement, resolver shape) before it ever runs.
+//!
+//! The [`simd`] module supplies explicit-SIMD microkernels (AVX2/FMA,
+//! NEON, portable `std::simd`) selected **once at bind time** and
+//! recorded in the tape as function pointers, plus the fused
+//! `ZeroAccum` superinstructions and rank-specialized kernel variants
+//! the tape compiler emits under [`Microkernels::Auto`].
 
-// The only unsafe code in the workspace lives in [`parallel`]; every
-// unsafe operation inside an unsafe fn must carry its own block.
+// Unsafe code in the workspace lives in [`parallel`] (scoped-thread
+// lifetime erasure) and [`simd`] (vendor SIMD intrinsics behind
+// bind-time feature detection); every unsafe operation inside an
+// unsafe fn must carry its own block.
 #![deny(unsafe_op_in_unsafe_fn)]
+#![cfg_attr(feature = "portable-simd", feature(portable_simd))]
 
 pub mod blas;
 pub mod interp;
 pub mod parallel;
 pub mod reference;
+pub mod simd;
 pub mod tape;
 
 pub use interp::{
@@ -56,5 +66,6 @@ pub use interp::{
 };
 pub use parallel::{execute_forest_parallel, tree_reduce_partials, ParallelExecutor};
 pub use reference::naive_einsum;
+pub use simd::{detected_cpu_features, KernelSel, KernelSet, Microkernels, RankSpec};
 pub use tape::verify::{TapeInvariantError, TapeReport};
 pub use tape::{execute_tape, execute_tape_into, execute_tape_tile_into, CompiledTape, TapeState};

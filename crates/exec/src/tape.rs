@@ -30,7 +30,19 @@
 //!   loop (or loop pair) lowered to a single microkernel call. BLAS-1/2
 //!   eligibility, operand roles, and every stride are resolved at
 //!   compile time; the interpreter's per-visit `src_meta`/`tgt_meta`
-//!   probing disappears entirely.
+//!   probing disappears entirely. Each microkernel instruction carries
+//!   the **function pointer** of its implementation, chosen once at
+//!   compile time by a [`crate::simd::KernelSet`] (scalar, AVX2+FMA,
+//!   NEON, or portable `std::simd` — never re-decided per visit), plus
+//!   a [`RankSpec`] recording whether the body is rank-specialized.
+//! - `ZeroAxpy` / `ZeroXmul` / `ZeroGer` — **superinstructions** fusing
+//!   a term's Eq.-5 zero point with its first accumulation: when the
+//!   instruction immediately following `Zero { t }` is a microkernel
+//!   that accumulates into term `t`'s *entire* buffer, the pair
+//!   collapses into one assigning pass (`y = αx` instead of
+//!   `y = 0; y += αx`), halving the memory traffic of the split point.
+//!   Emitted only under [`Microkernels::Auto`]; the fused kernels never
+//!   skip the write (even for `α == 0`), preserving the zero point.
 //!
 //! # Finger search
 //!
@@ -65,11 +77,11 @@
 //! stats are plain per-workspace `u64`s folded into the global
 //! [`crate::interp::stats`] shim once per run.
 
-use crate::blas;
 use crate::interp::{
     forest_stamp, stats, validate_operands, validate_output, validate_slots, ContractionOutput,
     ExecStats, OutputMut, Slots, Workspace,
 };
+use crate::simd::{AxpyFn, DotFn, GemvFn, GerFn, KernelSet, Microkernels, RankSpec, XmulFn};
 use spttn_core::{Result, SpttnError};
 use spttn_ir::{
     buffers_for_forest, BufferSpec, ContractionPath, IndexId, Kernel, LoopForest, LoopNode,
@@ -215,6 +227,8 @@ enum Instr {
         y: VecSrc,
         tgt: Write,
         res: NodeRes,
+        kern: DotFn,
+        spec: RankSpec,
     },
     /// `y[q] += alpha · x[q]`.
     Axpy {
@@ -224,6 +238,8 @@ enum Instr {
         x: VecSrc,
         y: VecTgt,
         res: NodeRes,
+        kern: AxpyFn,
+        spec: RankSpec,
     },
     /// `y[q] += x[q] · z[q]`.
     Xmul {
@@ -232,6 +248,7 @@ enum Instr {
         x: VecSrc,
         z: VecSrc,
         y: VecTgt,
+        kern: XmulFn,
     },
     /// Rank-1 update `a[q1,q2] += x[q1] · y[q2]`.
     Ger {
@@ -241,6 +258,8 @@ enum Instr {
         x: VecSrc,
         y: VecSrc,
         a: MatTgt,
+        kern: GerFn,
+        spec: RankSpec,
     },
     /// `y[i] += Σ_j a[i,j] · x[j]` (call-parameter order baked in).
     Gemv {
@@ -250,6 +269,41 @@ enum Instr {
         a: MatSrc,
         x: VecSrc,
         y: VecTgt,
+        kern: GemvFn,
+        spec: RankSpec,
+    },
+    /// Superinstruction: `Zero { term }` fused with an `Axpy` covering
+    /// the whole buffer — one assigning pass `y[q] = alpha · x[q]`.
+    ZeroAxpy {
+        n: usize,
+        term: usize,
+        alpha: Read,
+        x: VecSrc,
+        y: VecTgt,
+        res: NodeRes,
+        kern: AxpyFn,
+        spec: RankSpec,
+    },
+    /// Superinstruction: `Zero` + full-coverage `Xmul`,
+    /// `y[q] = x[q] · z[q]`.
+    ZeroXmul {
+        n: usize,
+        term: usize,
+        x: VecSrc,
+        z: VecSrc,
+        y: VecTgt,
+        kern: XmulFn,
+    },
+    /// Superinstruction: `Zero` + full-coverage `Ger`,
+    /// `a[q1,q2] = x[q1] · y[q2]`.
+    ZeroGer {
+        m: usize,
+        n: usize,
+        term: usize,
+        x: VecSrc,
+        y: VecSrc,
+        a: MatTgt,
+        kern: GerFn,
     },
 }
 
@@ -320,6 +374,9 @@ pub struct CompiledTape {
     max_depth: usize,
     forest_stamp: u64,
     bounds: TapeBounds,
+    /// Microkernel selection recorded at compile time (function
+    /// pointers inside the instructions were drawn from this set).
+    kernels: KernelSet,
 }
 
 /// Invalid/uninitialized finger parent marker.
@@ -418,18 +475,60 @@ impl CompiledTape {
         forest: &LoopForest,
         specs: &[BufferSpec],
     ) -> Result<CompiledTape> {
+        // Scalar default keeps the free-function tape paths (and every
+        // caller that has not opted in) bitwise-identical to the
+        // pre-SIMD engine; the facade passes its `Microkernels` option
+        // through `compile_with`.
+        Self::compile_with_kernels(kernel, path, forest, specs, KernelSet::scalar())
+    }
+
+    /// [`CompiledTape::compile`] with a [`Microkernels`] policy: the
+    /// policy is resolved against the `SPTTN_MICROKERNELS` environment
+    /// override and the host CPU once, here, and the outcome is
+    /// recorded in the tape.
+    pub fn compile_with(
+        kernel: &Kernel,
+        path: &ContractionPath,
+        forest: &LoopForest,
+        specs: &[BufferSpec],
+        microkernels: Microkernels,
+    ) -> Result<CompiledTape> {
+        Self::compile_with_kernels(
+            kernel,
+            path,
+            forest,
+            specs,
+            KernelSet::resolve(microkernels),
+        )
+    }
+
+    /// Compile against an explicit, already-resolved [`KernelSet`] —
+    /// differential tests and benches use this to pin program shape
+    /// independently of the environment override.
+    pub fn compile_with_kernels(
+        kernel: &Kernel,
+        path: &ContractionPath,
+        forest: &LoopForest,
+        specs: &[BufferSpec],
+        kernels: KernelSet,
+    ) -> Result<CompiledTape> {
         let n_terms = path.len();
         let mut buffer_inds: Vec<Vec<IndexId>> = vec![Vec::new(); n_terms];
         let mut buffer_strides: Vec<Vec<usize>> = vec![Vec::new(); n_terms];
+        let mut buffer_hint: Vec<Option<usize>> = vec![None; n_terms];
+        let mut buffer_lens = vec![0usize; n_terms];
         for s in specs {
             buffer_inds[s.producer] = s.inds.clone();
             buffer_strides[s.producer] = s.strides();
+            buffer_hint[s.producer] = s.rank_hint();
+            buffer_lens[s.producer] = s.dims.iter().product();
         }
         let mut c = Compiler {
             kernel,
             path,
             buffer_inds,
             buffer_strides,
+            buffer_hint,
             factor_strides: kernel
                 .inputs
                 .iter()
@@ -442,11 +541,11 @@ impl CompiledTape {
             n_cursors: 0,
             n_fingers: 0,
             loops: Vec::new(),
+            kernels,
         };
         c.compile_siblings(&forest.roots, n_terms)?;
-        let mut buffer_lens = vec![0usize; n_terms];
-        for s in specs {
-            buffer_lens[s.producer] = s.dims.iter().product();
+        if kernels.superinstructions() {
+            fuse_zero_accum(&mut c.instrs, &buffer_lens, &kernels);
         }
         let bounds = TapeBounds {
             factor_lens: kernel
@@ -483,6 +582,7 @@ impl CompiledTape {
             max_depth: forest.max_depth(),
             forest_stamp: forest_stamp(forest),
             bounds,
+            kernels,
         })
     }
 
@@ -526,6 +626,53 @@ impl CompiledTape {
     /// Number of finger-search sites (searched resolver levels).
     pub fn num_fingers(&self) -> usize {
         self.n_fingers
+    }
+
+    /// The microkernel selection recorded at compile time.
+    pub fn kernel_set(&self) -> KernelSet {
+        self.kernels
+    }
+
+    /// Name of the recorded microkernel implementation family
+    /// (`"scalar"`, `"avx2+fma"`, `"neon"`, `"portable"`).
+    pub fn microkernels(&self) -> &'static str {
+        self.kernels.name()
+    }
+
+    /// f64 lanes per vector operation of the recorded kernels.
+    pub fn kernel_width(&self) -> usize {
+        self.kernels.width()
+    }
+
+    /// Number of fused `ZeroAccum` superinstructions in the program.
+    pub fn superinstructions(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::ZeroAxpy { .. } | Instr::ZeroXmul { .. } | Instr::ZeroGer { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Number of rank-specialized microkernel sites in the program.
+    pub fn specialized(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Dot { spec, .. }
+                    | Instr::Axpy { spec, .. }
+                    | Instr::Ger { spec, .. }
+                    | Instr::Gemv { spec, .. }
+                    | Instr::ZeroAxpy { spec, .. }
+                        if *spec != RankSpec::Gen
+                )
+            })
+            .count()
     }
 
     /// Statically prove the compiled program well-formed — see the
@@ -605,6 +752,9 @@ struct Compiler<'a> {
     path: &'a ContractionPath,
     buffer_inds: Vec<Vec<IndexId>>,
     buffer_strides: Vec<Vec<usize>>,
+    /// Innermost buffer extent when it is a supported fixed rank
+    /// ([`BufferSpec::rank_hint`]) — the pin for rank specialization.
+    buffer_hint: Vec<Option<usize>>,
     factor_strides: Vec<Vec<usize>>,
     out_strides: Vec<usize>,
     instrs: Vec<Instr>,
@@ -613,6 +763,9 @@ struct Compiler<'a> {
     n_cursors: usize,
     n_fingers: usize,
     loops: Vec<LoopCtx>,
+    /// Microkernel selection the emitted instructions draw their
+    /// function pointers from.
+    kernels: KernelSet,
 }
 
 impl<'a> Compiler<'a> {
@@ -1010,6 +1163,18 @@ impl<'a> Compiler<'a> {
         })
     }
 
+    /// Rank-specialization pin for a microkernel writing term `t`: a
+    /// dense-output row's trip count is statically the kernel dim; a
+    /// buffer's pin comes from its `BufferSpec` innermost dim
+    /// ([`BufferSpec::rank_hint`]).
+    fn tgt_hint(&self, out: bool, t: usize, n: usize) -> Option<usize> {
+        if out {
+            Some(n)
+        } else {
+            self.buffer_hint[t]
+        }
+    }
+
     /// Try to lower a vertex to one microkernel instruction; mirrors
     /// the interpreter's `try_blas` decisions exactly so both engines
     /// execute the same operation sequence.
@@ -1057,7 +1222,16 @@ impl<'a> Compiler<'a> {
                 } else {
                     NodeRes::None
                 };
-                self.instrs.push(Instr::Dot { n, x, y, tgt, res });
+                let (kern, spec) = self.kernels.dot(n, x.inc == 1 && y.inc == 1);
+                self.instrs.push(Instr::Dot {
+                    n,
+                    x,
+                    y,
+                    tgt,
+                    res,
+                    kern,
+                    spec,
+                });
                 Ok(true)
             }
             CTgt::Var { s1: ts, .. } => {
@@ -1073,6 +1247,8 @@ impl<'a> Compiler<'a> {
                         } else {
                             NodeRes::None
                         };
+                        let hint = self.tgt_hint(y.out, t, n);
+                        let (kern, spec) = self.kernels.axpy(n, x.inc == 1 && y.inc == 1, hint);
                         self.instrs.push(Instr::Axpy {
                             n,
                             term: t,
@@ -1080,6 +1256,8 @@ impl<'a> Compiler<'a> {
                             x,
                             y,
                             res,
+                            kern,
+                            spec,
                         });
                         Ok(true)
                     }
@@ -1092,6 +1270,8 @@ impl<'a> Compiler<'a> {
                         } else {
                             NodeRes::None
                         };
+                        let hint = self.tgt_hint(y.out, t, n);
+                        let (kern, spec) = self.kernels.axpy(n, x.inc == 1 && y.inc == 1, hint);
                         self.instrs.push(Instr::Axpy {
                             n,
                             term: t,
@@ -1099,6 +1279,8 @@ impl<'a> Compiler<'a> {
                             x,
                             y,
                             res,
+                            kern,
+                            spec,
                         });
                         Ok(true)
                     }
@@ -1106,12 +1288,14 @@ impl<'a> Compiler<'a> {
                         let (ls, rs) = (*ls, *rs);
                         let x = self.vec_src(&lm, ls, q, None)?;
                         let z = self.vec_src(&rm, rs, q, None)?;
+                        let kern = self.kernels.xmul();
                         self.instrs.push(Instr::Xmul {
                             n,
                             term: t,
                             x,
                             z,
                             y,
+                            kern,
                         });
                         Ok(true)
                     }
@@ -1172,6 +1356,8 @@ impl<'a> Compiler<'a> {
                 let x = self.vec_src(&lm, l1, q1, Some(q2))?;
                 let y = self.vec_src(&rm, r2, q1, Some(q2))?;
                 let a = self.mat_tgt(&tm, t1, t2, q1, q2)?;
+                let hint = self.tgt_hint(a.out, t, n);
+                let (kern, spec) = self.kernels.ger(n, a.cs == 1 && y.inc == 1, hint);
                 self.instrs.push(Instr::Ger {
                     m,
                     n,
@@ -1179,6 +1365,8 @@ impl<'a> Compiler<'a> {
                     x,
                     y,
                     a,
+                    kern,
+                    spec,
                 });
                 return Ok(true);
             }
@@ -1186,6 +1374,8 @@ impl<'a> Compiler<'a> {
                 let x = self.vec_src(&rm, r1, q1, Some(q2))?;
                 let y = self.vec_src(&lm, l2, q1, Some(q2))?;
                 let a = self.mat_tgt(&tm, t1, t2, q1, q2)?;
+                let hint = self.tgt_hint(a.out, t, n);
+                let (kern, spec) = self.kernels.ger(n, a.cs == 1 && y.inc == 1, hint);
                 self.instrs.push(Instr::Ger {
                     m,
                     n,
@@ -1193,6 +1383,8 @@ impl<'a> Compiler<'a> {
                     x,
                     y,
                     a,
+                    kern,
+                    spec,
                 });
                 return Ok(true);
             }
@@ -1204,6 +1396,7 @@ impl<'a> Compiler<'a> {
                 let a = self.mat_src(&lm, l1, l2, q1, q2)?;
                 let x = self.vec_src(&rm, r2, q1, Some(q2))?;
                 let y = self.vec_tgt(&tm, t1, q1, Some(q2))?;
+                let (kern, spec) = self.kernels.gemv(n, a.cs == 1 && x.inc == 1);
                 self.instrs.push(Instr::Gemv {
                     m,
                     n,
@@ -1211,6 +1404,8 @@ impl<'a> Compiler<'a> {
                     a,
                     x,
                     y,
+                    kern,
+                    spec,
                 });
                 return Ok(true);
             }
@@ -1218,6 +1413,7 @@ impl<'a> Compiler<'a> {
                 let a = self.mat_src(&rm, r1, r2, q1, q2)?;
                 let x = self.vec_src(&lm, l2, q1, Some(q2))?;
                 let y = self.vec_tgt(&tm, t1, q1, Some(q2))?;
+                let (kern, spec) = self.kernels.gemv(n, a.cs == 1 && x.inc == 1);
                 self.instrs.push(Instr::Gemv {
                     m,
                     n,
@@ -1225,6 +1421,8 @@ impl<'a> Compiler<'a> {
                     a,
                     x,
                     y,
+                    kern,
+                    spec,
                 });
                 return Ok(true);
             }
@@ -1236,6 +1434,8 @@ impl<'a> Compiler<'a> {
                 let a = self.mat_src(&lm, l2, l1, q1, q2)?;
                 let x = self.vec_src(&rm, r1, q1, Some(q2))?;
                 let y = self.vec_tgt(&tm, t2, q1, Some(q2))?;
+                // Row length of the emitted call is `m` (m/n swapped).
+                let (kern, spec) = self.kernels.gemv(m, a.cs == 1 && x.inc == 1);
                 self.instrs.push(Instr::Gemv {
                     m: n,
                     n: m,
@@ -1243,6 +1443,8 @@ impl<'a> Compiler<'a> {
                     a,
                     x,
                     y,
+                    kern,
+                    spec,
                 });
                 return Ok(true);
             }
@@ -1250,6 +1452,8 @@ impl<'a> Compiler<'a> {
                 let a = self.mat_src(&rm, r2, r1, q1, q2)?;
                 let x = self.vec_src(&lm, l1, q1, Some(q2))?;
                 let y = self.vec_tgt(&tm, t2, q1, Some(q2))?;
+                // Row length of the emitted call is `m` (m/n swapped).
+                let (kern, spec) = self.kernels.gemv(m, a.cs == 1 && x.inc == 1);
                 self.instrs.push(Instr::Gemv {
                     m: n,
                     n: m,
@@ -1257,6 +1461,8 @@ impl<'a> Compiler<'a> {
                     a,
                     x,
                     y,
+                    kern,
+                    spec,
                 });
                 return Ok(true);
             }
@@ -1309,6 +1515,120 @@ impl<'a> Compiler<'a> {
             rs,
             cs,
         })
+    }
+}
+
+/// Peephole pass fusing `Zero { t }` with an immediately following
+/// microkernel that accumulates over term `t`'s **entire** buffer into
+/// one assigning superinstruction (Eq.-5 zero point + first
+/// accumulation in a single pass).
+///
+/// Soundness of the coverage tests: a `VecTgt` covers the buffer iff it
+/// is not the output, has unit increment, and its trip count equals the
+/// buffer's flat length — then the target cursor addresses offset 0 and
+/// the kernel touches every element, so replacing "fill + accumulate"
+/// with "assign" is exact. (The cursor *is* statically 0: full coverage
+/// means no enclosing loop iterates any buffer index, so no advance
+/// entry ever moves it.) A `MatTgt` additionally needs row-major
+/// packing (`rs == n`, `m·n == len`). Adjacency guarantees the fused
+/// instruction executes on exactly the control paths the `Zero` did.
+///
+/// Sources cannot alias the zeroed buffer: producer ordering means a
+/// microkernel for term `t` only reads factors and buffers of earlier
+/// terms (the verifier's `ProducerOrderViolation` rule).
+///
+/// Jump targets: removing the instruction at `i + 1` shifts everything
+/// after it down by one. No loop `end` can point *at* `i + 1` or
+/// `i + 2` — an `end` always lands one past an `EndLoop`, and neither
+/// `i` (a `Zero`) nor `i + 1` (a microkernel) is one — so the blanket
+/// `end > i + 1 → end -= 1` patch is exact.
+fn fuse_zero_accum(instrs: &mut Vec<Instr>, buffer_lens: &[usize], kernels: &KernelSet) {
+    let mut i = 0;
+    while i + 1 < instrs.len() {
+        let Instr::Zero { term } = instrs[i] else {
+            i += 1;
+            continue;
+        };
+        let fused = match instrs[i + 1] {
+            Instr::Axpy {
+                n,
+                term: t,
+                alpha,
+                x,
+                y,
+                res,
+                spec,
+                ..
+            } if t == term && !y.out && y.inc == 1 && n == buffer_lens[t] => {
+                // The assigning twin must sit at exactly the recorded
+                // specialization: a fixed-rank zaxpy would assert unit
+                // source stride, which only the non-Gen spec implies.
+                let (kern, zspec) = match spec.rank() {
+                    Some(r) => kernels.zaxpy(r, true, Some(r)),
+                    None => kernels.zaxpy(n, false, None),
+                };
+                debug_assert_eq!(zspec, spec);
+                Some(Instr::ZeroAxpy {
+                    n,
+                    term: t,
+                    alpha,
+                    x,
+                    y,
+                    res,
+                    kern,
+                    spec: zspec,
+                })
+            }
+            Instr::Xmul {
+                n,
+                term: t,
+                x,
+                z,
+                y,
+                ..
+            } if t == term && !y.out && y.inc == 1 && n == buffer_lens[t] => {
+                Some(Instr::ZeroXmul {
+                    n,
+                    term: t,
+                    x,
+                    z,
+                    y,
+                    kern: kernels.zxmul(),
+                })
+            }
+            Instr::Ger {
+                m,
+                n,
+                term: t,
+                x,
+                y,
+                a,
+                ..
+            } if t == term && !a.out && a.cs == 1 && a.rs == n && m * n == buffer_lens[t] => {
+                Some(Instr::ZeroGer {
+                    m,
+                    n,
+                    term: t,
+                    x,
+                    y,
+                    a,
+                    kern: kernels.zger(),
+                })
+            }
+            _ => None,
+        };
+        if let Some(f) = fused {
+            instrs[i] = f;
+            instrs.remove(i + 1);
+            for ins in instrs.iter_mut() {
+                if let Instr::Dense { end, .. } | Instr::Sparse { end, .. } = ins {
+                    if *end > i + 1 {
+                        *end -= 1;
+                    }
+                }
+            }
+        }
+        i += 1;
     }
 }
 
@@ -1667,14 +1987,23 @@ impl<'a> Run<'a> {
                     self.cell(tgt, node, v);
                     pc += 1;
                 }
-                Instr::Dot { n, x, y, tgt, res } => {
+                Instr::Dot {
+                    n,
+                    x,
+                    y,
+                    tgt,
+                    res,
+                    kern,
+                    ..
+                } => {
                     let node = self.node_of(res);
                     let v = {
                         let (xs, xi) = self.rslice(x);
                         let (ys, yi) = self.rslice(y);
-                        blas::dot(n, xs, xi, ys, yi)
+                        kern(n, xs, xi, ys, yi)
                     };
                     self.stats.dot += 1;
+                    self.stats.dot_elems += n as u64;
                     self.cell(tgt, node, v);
                     pc += 1;
                 }
@@ -1685,6 +2014,18 @@ impl<'a> Run<'a> {
                     x,
                     y,
                     res,
+                    kern,
+                    ..
+                }
+                | Instr::ZeroAxpy {
+                    n,
+                    term,
+                    alpha,
+                    x,
+                    y,
+                    res,
+                    kern,
+                    ..
                 } => {
                     let node = self.node_of(res);
                     let a = self.read(alpha, node);
@@ -1698,11 +2039,27 @@ impl<'a> Run<'a> {
                     } = self;
                     let (reads, tgt) = tgt_split(buffers, out_dense, &st.cursors, term, y);
                     let (xs, xi) = vec_in(*factors, reads, &st.cursors, x);
-                    blas::axpy(n, a, xs, xi, tgt, y.inc);
+                    kern(n, a, xs, xi, tgt, y.inc);
                     stats.axpy += 1;
+                    stats.axpy_elems += n as u64;
                     pc += 1;
                 }
-                Instr::Xmul { n, term, x, z, y } => {
+                Instr::Xmul {
+                    n,
+                    term,
+                    x,
+                    z,
+                    y,
+                    kern,
+                }
+                | Instr::ZeroXmul {
+                    n,
+                    term,
+                    x,
+                    z,
+                    y,
+                    kern,
+                } => {
                     let Run {
                         factors,
                         buffers,
@@ -1714,8 +2071,9 @@ impl<'a> Run<'a> {
                     let (reads, tgt) = tgt_split(buffers, out_dense, &st.cursors, term, y);
                     let (xs, xi) = vec_in(*factors, reads, &st.cursors, x);
                     let (zs, zi) = vec_in(*factors, reads, &st.cursors, z);
-                    blas::xmul(n, 1.0, xs, xi, zs, zi, tgt, y.inc);
+                    kern(n, 1.0, xs, xi, zs, zi, tgt, y.inc);
                     stats.xmul += 1;
+                    stats.xmul_elems += n as u64;
                     pc += 1;
                 }
                 Instr::Ger {
@@ -1725,6 +2083,17 @@ impl<'a> Run<'a> {
                     x,
                     y,
                     a,
+                    kern,
+                    ..
+                }
+                | Instr::ZeroGer {
+                    m,
+                    n,
+                    term,
+                    x,
+                    y,
+                    a,
+                    kern,
                 } => {
                     let Run {
                         factors,
@@ -1742,8 +2111,9 @@ impl<'a> Run<'a> {
                     let (reads, tgt) = tgt_split(buffers, out_dense, &st.cursors, term, av);
                     let (xs, xi) = vec_in(*factors, reads, &st.cursors, x);
                     let (ys, yi) = vec_in(*factors, reads, &st.cursors, y);
-                    blas::ger(m, n, 1.0, xs, xi, ys, yi, tgt, a.rs, a.cs);
+                    kern(m, n, 1.0, xs, xi, ys, yi, tgt, a.rs, a.cs);
                     stats.ger += 1;
+                    stats.ger_elems += (m * n) as u64;
                     pc += 1;
                 }
                 Instr::Gemv {
@@ -1753,6 +2123,8 @@ impl<'a> Run<'a> {
                     a,
                     x,
                     y,
+                    kern,
+                    ..
                 } => {
                     let Run {
                         factors,
@@ -1765,8 +2137,9 @@ impl<'a> Run<'a> {
                     let (reads, tgt) = tgt_split(buffers, out_dense, &st.cursors, term, y);
                     let (as_, ai) = mat_in(*factors, reads, &st.cursors, a);
                     let (xs, xi) = vec_in(*factors, reads, &st.cursors, x);
-                    blas::gemv(m, n, 1.0, as_, ai.0, ai.1, xs, xi, tgt, y.inc);
+                    kern(m, n, 1.0, as_, ai.0, ai.1, xs, xi, tgt, y.inc);
                     stats.gemv += 1;
+                    stats.gemv_elems += (m * n) as u64;
                     pc += 1;
                 }
             }

@@ -47,6 +47,15 @@
 //!    resolver, CSF level, and advance-table range referenced by any
 //!    instruction is in range, and a `Dense` header's baked-in extent
 //!    equals the kernel's declared dimension for that index.
+//! 6. **Superinstruction contracts** — a fused `ZeroAxpy`/`ZeroXmul`/
+//!    `ZeroGer` replaces an Eq.-5 `Zero`, so it must *assign* the
+//!    term's whole buffer: unit target stride, buffer (never output)
+//!    target, and extent equal to the buffer length. It then
+//!    establishes zero domination exactly like the `Zero` it fused.
+//!    Rank-specialized sites (`RankSpec::R8/R16/R32`) must dispatch
+//!    with exactly the specialized trip count over unit-stride
+//!    operands — the fixed kernels assert this at run time; the
+//!    verifier proves it statically.
 //!
 //! The cost is O(program size · nesting depth) — independent of the
 //! tensor data — so `Plan::bind` runs it unconditionally in debug
@@ -57,6 +66,7 @@ use super::{
     CompiledTape, Instr, MatSrc, MatTgt, NodeRes, ParentLoc, RBuf, Read, ResLevel, VecSrc, VecTgt,
     Write,
 };
+use crate::simd::RankSpec;
 use spttn_core::SpttnError;
 use std::fmt;
 
@@ -134,6 +144,26 @@ pub enum TapeInvariantError {
     /// locator points at the wrong level, a sparse access lacks node
     /// resolution, or sparse loops are nested against CSF level order.
     TrackingInvariant { pc: usize, detail: String },
+    /// A fused `ZeroAccum` superinstruction does not assign its term's
+    /// whole buffer (wrong extent, strided target, or an output
+    /// target): elements outside the covered range would keep stale
+    /// values instead of the Eq.-5 reset the fusion replaced.
+    ZeroAccumCoverage {
+        pc: usize,
+        term: usize,
+        covered: usize,
+        len: usize,
+    },
+    /// A rank-specialized microkernel site whose recorded operands do
+    /// not match the specialization — the fixed-rank kernel asserts
+    /// its pinned trip count and unit strides at run time, so a
+    /// mismatch here is a guaranteed panic (or, without debug asserts,
+    /// an out-of-bounds sweep).
+    SpecializationMismatch {
+        pc: usize,
+        rank: usize,
+        detail: String,
+    },
 }
 
 impl fmt::Display for TapeInvariantError {
@@ -203,6 +233,19 @@ impl fmt::Display for TapeInvariantError {
             TapeInvariantError::TrackingInvariant { pc, detail } => {
                 write!(f, "instr {pc}: node tracking: {detail}")
             }
+            TapeInvariantError::ZeroAccumCoverage {
+                pc,
+                term,
+                covered,
+                len,
+            } => write!(
+                f,
+                "instr {pc}: fused zero-accumulate covers {covered} of the {len} elements of term {term}'s buffer"
+            ),
+            TapeInvariantError::SpecializationMismatch { pc, rank, detail } => write!(
+                f,
+                "instr {pc}: rank-{rank} specialized kernel {detail}"
+            ),
         }
     }
 }
@@ -230,10 +273,17 @@ pub struct TapeReport {
     /// Preallocated frame-stack capacity the nesting was checked
     /// against.
     pub frame_capacity: usize,
-    /// Eq.-5 `Zero` split points.
+    /// Eq.-5 `Zero` split points (explicit `Zero` instructions; fused
+    /// split points are counted in [`TapeReport::zero_accums`]).
     pub zeros: usize,
-    /// Microkernel instructions (Dot/Axpy/Xmul/Ger/Gemv).
+    /// Microkernel instructions, fused superinstructions included.
     pub microkernels: usize,
+    /// Fused `ZeroAccum` superinstructions proved to assign their
+    /// term's whole buffer.
+    pub zero_accums: usize,
+    /// Rank-specialized microkernel sites proved to match their
+    /// pinned trip count and unit strides.
+    pub specialized: usize,
     /// Cursor-addressed accesses proved in bounds.
     pub accesses_checked: usize,
     /// Distinct cursors bound to a backing store.
@@ -247,8 +297,8 @@ impl fmt::Display for TapeReport {
         write!(
             f,
             "verified {} instrs ({} dense + {} sparse loops, nesting {}/{}), \
-             {} zero points, {} microkernels, {} accesses in bounds over {} cursors, \
-             {} resolver sites",
+             {} zero points, {} microkernels ({} fused, {} rank-specialized), \
+             {} accesses in bounds over {} cursors, {} resolver sites",
             self.instrs,
             self.dense_loops,
             self.sparse_loops,
@@ -256,6 +306,8 @@ impl fmt::Display for TapeReport {
             self.frame_capacity,
             self.zeros,
             self.microkernels,
+            self.zero_accums,
+            self.specialized,
             self.accesses_checked,
             self.cursors_bound,
             self.resolver_sites
@@ -462,8 +514,17 @@ impl<'t> Checker<'t> {
                     self.check_node_res(pc, res, needs_node)?;
                     pc += 1;
                 }
-                Instr::Dot { n, x, y, tgt, res } => {
+                Instr::Dot {
+                    n,
+                    x,
+                    y,
+                    tgt,
+                    res,
+                    spec,
+                    ..
+                } => {
                     let needs_node = matches!(tgt, Write::SparseCell);
+                    self.check_spec(pc, spec, n, x.inc == 1 && y.inc == 1)?;
                     self.check_vec_src(pc, x, n, None)?;
                     self.check_vec_src(pc, y, n, None)?;
                     self.check_cell(pc, tgt)?;
@@ -478,9 +539,12 @@ impl<'t> Checker<'t> {
                     x,
                     y,
                     res,
+                    spec,
+                    ..
                 } => {
                     self.in_range(pc, "target term", term, self.tape.n_terms)?;
                     let needs_node = matches!(alpha, Read::SparseVal);
+                    self.check_spec(pc, spec, n, x.inc == 1 && y.inc == 1)?;
                     self.check_read(pc, alpha)?;
                     self.check_vec_src(pc, x, n, Some(term))?;
                     self.check_vec_tgt(pc, y, n, term)?;
@@ -488,7 +552,9 @@ impl<'t> Checker<'t> {
                     self.report.microkernels += 1;
                     pc += 1;
                 }
-                Instr::Xmul { n, term, x, z, y } => {
+                Instr::Xmul {
+                    n, term, x, z, y, ..
+                } => {
                     self.in_range(pc, "target term", term, self.tape.n_terms)?;
                     self.check_vec_src(pc, x, n, Some(term))?;
                     self.check_vec_src(pc, z, n, Some(term))?;
@@ -503,8 +569,11 @@ impl<'t> Checker<'t> {
                     x,
                     y,
                     a,
+                    spec,
+                    ..
                 } => {
                     self.in_range(pc, "target term", term, self.tape.n_terms)?;
+                    self.check_spec(pc, spec, n, a.cs == 1 && y.inc == 1)?;
                     self.check_vec_src(pc, x, m, Some(term))?;
                     self.check_vec_src(pc, y, n, Some(term))?;
                     self.check_mat_tgt(pc, a, m, n, term)?;
@@ -518,12 +587,64 @@ impl<'t> Checker<'t> {
                     a,
                     x,
                     y,
+                    spec,
+                    ..
                 } => {
                     self.in_range(pc, "target term", term, self.tape.n_terms)?;
+                    self.check_spec(pc, spec, n, a.cs == 1 && x.inc == 1)?;
                     self.check_mat_src(pc, a, m, n, term)?;
                     self.check_vec_src(pc, x, n, Some(term))?;
                     self.check_vec_tgt(pc, y, m, term)?;
                     self.report.microkernels += 1;
+                    pc += 1;
+                }
+                Instr::ZeroAxpy {
+                    n,
+                    term,
+                    alpha,
+                    x,
+                    y,
+                    res,
+                    spec,
+                    ..
+                } => {
+                    self.in_range(pc, "target term", term, self.tape.n_terms)?;
+                    let needs_node = matches!(alpha, Read::SparseVal);
+                    self.check_spec(pc, spec, n, x.inc == 1 && y.inc == 1)?;
+                    self.check_read(pc, alpha)?;
+                    self.check_vec_src(pc, x, n, Some(term))?;
+                    self.check_zero_vec_tgt(pc, y, n, term)?;
+                    self.check_node_res(pc, res, needs_node)?;
+                    self.report.microkernels += 1;
+                    self.report.zero_accums += 1;
+                    pc += 1;
+                }
+                Instr::ZeroXmul {
+                    n, term, x, z, y, ..
+                } => {
+                    self.in_range(pc, "target term", term, self.tape.n_terms)?;
+                    self.check_vec_src(pc, x, n, Some(term))?;
+                    self.check_vec_src(pc, z, n, Some(term))?;
+                    self.check_zero_vec_tgt(pc, y, n, term)?;
+                    self.report.microkernels += 1;
+                    self.report.zero_accums += 1;
+                    pc += 1;
+                }
+                Instr::ZeroGer {
+                    m,
+                    n,
+                    term,
+                    x,
+                    y,
+                    a,
+                    ..
+                } => {
+                    self.in_range(pc, "target term", term, self.tape.n_terms)?;
+                    self.check_vec_src(pc, x, m, Some(term))?;
+                    self.check_vec_src(pc, y, n, Some(term))?;
+                    self.check_zero_mat_tgt(pc, a, m, n, term)?;
+                    self.report.microkernels += 1;
+                    self.report.zero_accums += 1;
                     pc += 1;
                 }
             }
@@ -854,6 +975,81 @@ impl<'t> Checker<'t> {
         self.check_access(pc, a.cur, store, extra)
     }
 
+    /// Rank-specialized sites must dispatch with exactly the pinned
+    /// trip count over unit-stride operands (the fixed-rank kernels
+    /// assert this at run time; prove it statically instead).
+    fn check_spec(
+        &mut self,
+        pc: usize,
+        spec: RankSpec,
+        n: usize,
+        contig: bool,
+    ) -> Result<(), TapeInvariantError> {
+        let Some(r) = spec.rank() else {
+            return Ok(());
+        };
+        if n != r || !contig {
+            return Err(TapeInvariantError::SpecializationMismatch {
+                pc,
+                rank: r,
+                detail: format!("dispatched with trip count {n}, contiguous = {contig}"),
+            });
+        }
+        self.report.specialized += 1;
+        Ok(())
+    }
+
+    /// Assigning (fused `ZeroAccum`) vector target: must be the term's
+    /// buffer, unit stride, and cover it end to end — the
+    /// superinstruction replaced the Eq.-5 `Zero`, so partial coverage
+    /// would leave stale elements alive. Establishes zero domination
+    /// for the rest of the block, exactly like the fused `Zero`.
+    fn check_zero_vec_tgt(
+        &mut self,
+        pc: usize,
+        y: VecTgt,
+        n: usize,
+        term: usize,
+    ) -> Result<(), TapeInvariantError> {
+        let len = self.tape.bounds.buffer_lens[term];
+        if y.out || y.inc != 1 || n != len {
+            return Err(TapeInvariantError::ZeroAccumCoverage {
+                pc,
+                term,
+                covered: if y.out { 0 } else { n },
+                len,
+            });
+        }
+        self.check_access(pc, y.cur, Store::Buffer(term), n.saturating_sub(1))?;
+        self.zeroed[term] = true;
+        Ok(())
+    }
+
+    /// Assigning (fused `ZeroGer`) matrix target: row-major dense
+    /// coverage of the term's whole buffer.
+    fn check_zero_mat_tgt(
+        &mut self,
+        pc: usize,
+        a: MatTgt,
+        m: usize,
+        n: usize,
+        term: usize,
+    ) -> Result<(), TapeInvariantError> {
+        let len = self.tape.bounds.buffer_lens[term];
+        if a.out || a.cs != 1 || a.rs != n || m * n != len {
+            return Err(TapeInvariantError::ZeroAccumCoverage {
+                pc,
+                term,
+                covered: if a.out { 0 } else { m * n },
+                len,
+            });
+        }
+        let extra = m.saturating_sub(1) * a.rs + n.saturating_sub(1) * a.cs;
+        self.check_access(pc, a.cur, Store::Buffer(term), extra)?;
+        self.zeroed[term] = true;
+        Ok(())
+    }
+
     /// Node resolution at a sparse access: tracked leaf or a resolver
     /// descending to the leaf level.
     fn check_node_res(
@@ -966,7 +1162,11 @@ impl<'t> Checker<'t> {
 mod tests {
     use super::super::{AdvEntry, CompiledTape, Instr, ResLevel, ResolverSpec};
     use super::*;
-    use spttn_ir::{build_forest, parse_kernel, path_from_picks, LoopNode, NestSpec, VertexKind};
+    use crate::simd::KernelSet;
+    use spttn_ir::{
+        buffers_for_forest, build_forest, parse_kernel, path_from_picks, LoopNode, NestSpec,
+        VertexKind,
+    };
 
     /// Listing-3 TTMC nest; with `flip_root_dense` the root sparse
     /// mode is iterated densely, which forces every deeper sparse loop
@@ -1003,6 +1203,47 @@ mod tests {
     /// finger-search resolvers.
     fn resolver_tape() -> CompiledTape {
         compiled(true)
+    }
+
+    /// Outer-product nest whose Eq.-5 buffer is written by exactly one
+    /// GER: compiled with superinstructions pinned on, the `Zero` and
+    /// the full-coverage `Ger` fuse into a `ZeroGer`. Uses
+    /// `auto_detected` (not `resolve`) so the program shape ignores the
+    /// `SPTTN_MICROKERNELS` environment override the scalar-forced CI
+    /// leg sets.
+    fn fused_ger_tape() -> CompiledTape {
+        let k = parse_kernel(
+            "S(i) = T(i,r,s) * U(r) * V(s)",
+            &[("i", 6), ("r", 4), ("s", 8)],
+        )
+        .unwrap();
+        let path = path_from_picks(&k, &[(1, 2), (0, 1)]);
+        let spec = NestSpec {
+            orders: vec![vec![1, 2], vec![0, 1, 2]],
+        };
+        let forest = build_forest(&k, &path, &spec).unwrap();
+        let bufs = buffers_for_forest(&k, &path, &forest);
+        CompiledTape::compile_with_kernels(&k, &path, &forest, &bufs, KernelSet::auto_detected())
+            .unwrap()
+    }
+
+    /// Listing-3 nest with the buffer's innermost extent on a
+    /// specialization rank (8): compiled with fusion on, its AXPY
+    /// sites record `RankSpec::R8`.
+    fn specialized_tape() -> CompiledTape {
+        let k = parse_kernel(
+            "S(i,r,s) = T(i,j,k) * U(j,r) * V(k,s)",
+            &[("i", 8), ("j", 9), ("k", 10), ("r", 4), ("s", 8)],
+        )
+        .unwrap();
+        let path = path_from_picks(&k, &[(0, 2), (0, 1)]);
+        let spec = NestSpec {
+            orders: vec![vec![0, 1, 2, 4], vec![0, 1, 4, 3]],
+        };
+        let forest = build_forest(&k, &path, &spec).unwrap();
+        let bufs = buffers_for_forest(&k, &path, &forest);
+        CompiledTape::compile_with_kernels(&k, &path, &forest, &bufs, KernelSet::auto_detected())
+            .unwrap()
     }
 
     #[test]
@@ -1161,6 +1402,93 @@ mod tests {
         match tape.verify() {
             Err(TapeInvariantError::ExtentMismatch { .. }) => {}
             other => panic!("expected ExtentMismatch, got {other:?}"),
+        }
+    }
+
+    /// Fused and rank-specialized programs are first-class citizens of
+    /// the verifier: both compile-time shapes verify clean, establish
+    /// zero domination through the superinstruction, and show up in
+    /// the report.
+    #[test]
+    fn fused_tapes_verify_clean() {
+        let tape = fused_ger_tape();
+        assert!(tape.superinstructions() > 0, "Zero+Ger fused");
+        let report = tape.verify().expect("fused tape must verify");
+        assert!(report.zero_accums > 0);
+        assert_eq!(
+            report.zeros, 0,
+            "the only split point fused into the superinstruction"
+        );
+
+        let tape = specialized_tape();
+        assert!(tape.specialized() > 0, "rank-8 buffer pins R8 kernels");
+        let report = tape.verify().expect("specialized tape must verify");
+        assert!(report.specialized > 0);
+        let text = format!("{report}");
+        assert!(text.contains("rank-specialized"));
+    }
+
+    /// Class 9: shrink a fused superinstruction's extent — it no
+    /// longer assigns the whole buffer, so elements past the covered
+    /// range would keep stale values.
+    #[test]
+    fn mutation_partial_zero_accum_rejected() {
+        let mut tape = fused_ger_tape();
+        let m = tape
+            .instrs
+            .iter_mut()
+            .find_map(|i| match i {
+                Instr::ZeroGer { m, .. } => Some(m),
+                _ => None,
+            })
+            .expect("nest fuses a ZeroGer");
+        *m -= 1;
+        match tape.verify() {
+            Err(TapeInvariantError::ZeroAccumCoverage { covered, len, .. }) => {
+                assert!(covered < len);
+            }
+            other => panic!("expected ZeroAccumCoverage, got {other:?}"),
+        }
+    }
+
+    /// Class 10: retarget a fused superinstruction at the dense output
+    /// — only Eq.-5 buffers have a zero point to fuse.
+    #[test]
+    fn mutation_output_zero_accum_rejected() {
+        let mut tape = fused_ger_tape();
+        let a = tape
+            .instrs
+            .iter_mut()
+            .find_map(|i| match i {
+                Instr::ZeroGer { a, .. } => Some(a),
+                _ => None,
+            })
+            .expect("nest fuses a ZeroGer");
+        a.out = true;
+        match tape.verify() {
+            Err(TapeInvariantError::ZeroAccumCoverage { covered: 0, .. }) => {}
+            other => panic!("expected ZeroAccumCoverage with zero coverage, got {other:?}"),
+        }
+    }
+
+    /// Class 11: skew a rank-specialized site's trip count — the
+    /// pinned fixed-rank kernel would assert (or sweep out of bounds)
+    /// at run time.
+    #[test]
+    fn mutation_specialized_trip_count_rejected() {
+        let mut tape = specialized_tape();
+        let n = tape
+            .instrs
+            .iter_mut()
+            .find_map(|i| match i {
+                Instr::Axpy { n, spec, .. } if spec.rank().is_some() => Some(n),
+                _ => None,
+            })
+            .expect("nest records a rank-specialized AXPY");
+        *n -= 1;
+        match tape.verify() {
+            Err(TapeInvariantError::SpecializationMismatch { rank: 8, .. }) => {}
+            other => panic!("expected SpecializationMismatch, got {other:?}"),
         }
     }
 

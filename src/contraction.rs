@@ -38,6 +38,7 @@ use spttn_cost::{
     candidate_orders, plan_mode_orders, BlasAware, CacheMiss, MaxBufferDim, MaxBufferSize,
     ModeOrderPolicy, OrderCost, OrderSearch, TreeCost,
 };
+use spttn_exec::Microkernels;
 use spttn_ir::{
     buffers_for_forest, build_forest, BufferSpec, ContractionPath, Kernel, KernelBuilder,
     KernelError, LoopForest, NestSpec,
@@ -137,6 +138,15 @@ pub struct ExecOptions {
     /// even in release builds. Debug builds always verify; the check
     /// is O(program size) and runs once per bind, never per execute.
     pub verify: bool,
+    /// Microkernel policy for the tape engine (default
+    /// [`Microkernels::Auto`]): `Auto` selects explicit-SIMD kernels
+    /// (AVX2+FMA / NEON) by runtime CPU detection once at bind time
+    /// and enables the fused/rank-specialized tape superinstructions;
+    /// `Scalar` pins the plain scalar kernels, bitwise-identical to
+    /// the pre-SIMD tape. The `SPTTN_MICROKERNELS` environment
+    /// variable (`auto` / `scalar`) overrides either. Interpreter
+    /// executions always use the scalar kernels.
+    pub microkernels: Microkernels,
 }
 
 impl Default for ExecOptions {
@@ -147,6 +157,7 @@ impl Default for ExecOptions {
             threads: Threads::N(1),
             engine: Engine::Tape,
             verify: false,
+            microkernels: Microkernels::Auto,
         }
     }
 }
@@ -222,6 +233,17 @@ impl PlanOptions {
     /// the caller's options, not the flight leader's.
     pub fn with_verify(mut self, verify: bool) -> Self {
         self.exec.verify = verify;
+        self
+    }
+
+    /// Set the tape microkernel policy (builder style).
+    /// [`Microkernels::Scalar`] forces the plain scalar kernels —
+    /// bitwise-identical to the pre-SIMD tape engine — while
+    /// [`Microkernels::Auto`] (the default) picks the best SIMD
+    /// implementation the host supports at bind time. Honored on
+    /// [`crate::PlanCache`] hits like every [`ExecOptions`] field.
+    pub fn with_microkernels(mut self, microkernels: Microkernels) -> Self {
+        self.exec.microkernels = microkernels;
         self
     }
 

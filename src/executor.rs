@@ -104,7 +104,13 @@ impl Plan {
     /// calling this is only needed to verify a plan that will not be
     /// bound here — e.g. file-less planning.
     pub fn verify_tape(&self) -> Result<TapeReport> {
-        let tape = CompiledTape::compile(&self.kernel, &self.path, &self.forest, &self.buffers)?;
+        let tape = CompiledTape::compile_with(
+            &self.kernel,
+            &self.path,
+            &self.forest,
+            &self.buffers,
+            self.exec.microkernels,
+        )?;
         tape.verify().map_err(SpttnError::from)
     }
 
@@ -284,7 +290,17 @@ impl Executor {
         // parallel executions share the same immutable tape.
         let tape = match plan.exec.engine {
             Engine::Tape => {
-                let tape = CompiledTape::compile(kernel, &plan.path, &plan.forest, &plan.buffers)?;
+                // `compile_with` resolves the plan's microkernel
+                // policy against the host CPU (and the
+                // `SPTTN_MICROKERNELS` override) once, here; the
+                // selected kernels ride in the tape as fn pointers.
+                let tape = CompiledTape::compile_with(
+                    kernel,
+                    &plan.path,
+                    &plan.forest,
+                    &plan.buffers,
+                    plan.exec.microkernels,
+                )?;
                 // Static verification gate: every debug build proves
                 // the program well-formed before it can run;
                 // release builds opt in via

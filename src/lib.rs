@@ -70,7 +70,9 @@
 //! ```
 
 // The facade only re-exports and composes the crates below; all
-// unsafe code in the workspace lives in `spttn_exec::parallel`.
+// unsafe code in the workspace lives in `spttn_exec::parallel`
+// (scoped-thread lifetime erasure) and `spttn_exec::simd` (vendor
+// SIMD intrinsics behind bind-time feature detection).
 #![forbid(unsafe_code)]
 
 pub mod cache;
@@ -84,7 +86,9 @@ pub use contraction::{
 pub use executor::Executor;
 pub use spttn_core::{Result, Scalar, SpttnError};
 pub use spttn_cost::{ModeOrderPolicy, OrderCost};
-pub use spttn_exec::{CompiledTape, ContractionOutput, ExecStats, TapeInvariantError, TapeReport};
+pub use spttn_exec::{
+    CompiledTape, ContractionOutput, ExecStats, Microkernels, TapeInvariantError, TapeReport,
+};
 
 /// Cost models and loop-order search (re-export of `spttn-cost`).
 pub use spttn_cost as cost;

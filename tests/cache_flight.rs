@@ -178,3 +178,45 @@ fn cache_hit_honors_verify_flag() {
         .unwrap();
     assert!(Arc::ptr_eq(&p1, &p3));
 }
+
+/// Regression: the microkernel policy must survive a cache hit exactly
+/// like engine/threads/verify. A bitwise-reproducibility caller forcing
+/// `Microkernels::Scalar` on a kernel some earlier caller planned with
+/// the default `Auto` must get a plan that binds scalar kernels — not
+/// silently inherit the flight leader's SIMD selection.
+#[test]
+fn cache_hit_reapplies_microkernel_option() {
+    use spttn::Microkernels;
+    let cache = PlanCache::new();
+    let p1 = cache
+        .plan(
+            Contraction::parse(EXPR).unwrap(),
+            &shapes(),
+            &PlanOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(p1.exec().microkernels, Microkernels::Auto);
+
+    let scalar_opts = PlanOptions::default().with_microkernels(Microkernels::Scalar);
+    let p2 = cache
+        .plan(Contraction::parse(EXPR).unwrap(), &shapes(), &scalar_opts)
+        .unwrap();
+    assert_eq!((cache.hits(), cache.misses()), (1, 1), "same key: a hit");
+    assert_eq!(
+        p2.exec().microkernels,
+        Microkernels::Scalar,
+        "hit must re-apply the caller's microkernel policy"
+    );
+    assert!(!Arc::ptr_eq(&p1, &p2), "mismatched exec needs a new Arc");
+
+    // The cached entry itself is untouched: a third default caller
+    // still shares the original Auto Arc.
+    let p3 = cache
+        .plan(
+            Contraction::parse(EXPR).unwrap(),
+            &shapes(),
+            &PlanOptions::default(),
+        )
+        .unwrap();
+    assert!(Arc::ptr_eq(&p1, &p3));
+}
