@@ -1,0 +1,125 @@
+//! Network contraction-order search: greedy vs the budgeted exact
+//! subset sweep on multi-tensor networks, reporting each strategy's
+//! modeled flops, search effort, and end-to-end execution wall time
+//! through the network executor.
+//!
+//! Run with `cargo bench -p spttn-bench --bench net_sequence`; set
+//! `SPTTN_BENCH_JSON=BENCH_results.json` to append the group to the
+//! machine-readable artifact CI uploads.
+
+use rand::prelude::*;
+use spttn::tensor::{random_coo, random_dense, Csf, DenseTensor, SparsityProfile};
+use spttn::{PlanOptions, Shapes, Threads};
+use spttn_bench::{black_box, Harness};
+use spttn_net::{NetOptions, Network, OrderStrategy};
+use std::time::Instant;
+
+struct Workload {
+    name: &'static str,
+    expr: &'static str,
+    dims: &'static [(&'static str, usize)],
+    sparse_dims: &'static [usize],
+    nnz: usize,
+}
+
+fn main() {
+    let workloads = [
+        Workload {
+            // The CLI smoke network at scale: the tail C(r,s) can leave
+            // the sparse spine, so the strategies genuinely disagree.
+            name: "krp-chain",
+            expr: "T[i,j,k]*A[j,r]*B[k,r]*C[r,s] -> O[i,s]",
+            dims: &[("i", 256), ("j", 96), ("k", 96), ("r", 32), ("s", 32)],
+            sparse_dims: &[256, 96, 96],
+            nnz: 100_000,
+        },
+        Workload {
+            name: "tensor-train",
+            expr: "T[i,j,k]*G1[i,a]*G2[a,j,b]*G3[b,k,c] -> O[c]",
+            dims: &[
+                ("i", 256),
+                ("j", 96),
+                ("k", 96),
+                ("a", 16),
+                ("b", 16),
+                ("c", 16),
+            ],
+            sparse_dims: &[256, 96, 96],
+            nnz: 100_000,
+        },
+    ];
+
+    let mut h = Harness::new("net_sequence: greedy vs budgeted-exact network ordering");
+    for w in &workloads {
+        let mut rng = StdRng::seed_from_u64(29);
+        let coo = random_coo(w.sparse_dims, w.nnz, &mut rng).unwrap();
+        let order: Vec<usize> = (0..w.sparse_dims.len()).collect();
+        let csf = Csf::from_coo(&coo, &order).unwrap();
+        let net = Network::parse(w.expr).expect("workload parses");
+        let shapes = Shapes::new()
+            .with_dims(w.dims)
+            .with_profile(SparsityProfile::from_csf(&csf));
+        let kernel = net.kernel(&shapes).expect("workload kernel");
+        let factors: Vec<(String, DenseTensor)> = kernel
+            .inputs
+            .iter()
+            .enumerate()
+            .filter(|(slot, _)| *slot != kernel.sparse_input)
+            .map(|(_, r)| (r.name.clone(), random_dense(&kernel.ref_dims(r), &mut rng)))
+            .collect();
+        let named: Vec<(&str, &DenseTensor)> =
+            factors.iter().map(|(n, t)| (n.as_str(), t)).collect();
+
+        for strategy in [OrderStrategy::Greedy, OrderStrategy::Optimal] {
+            let nopts = NetOptions::default()
+                .with_order(strategy)
+                .with_plan_options(PlanOptions::default().with_threads(Threads::N(1)));
+            let t_plan = Instant::now();
+            let nplan = net.plan(&shapes, &nopts).expect("planning succeeds");
+            let plan_ms = t_plan.elapsed().as_secs_f64() * 1e3;
+            let mut exec = nplan.bind(csf.clone(), &named).expect("bind succeeds");
+            let mut out = exec.output_template();
+            let id = format!("{} {strategy:<7} @ 1t", w.name);
+            h.bench_function(&id, || {
+                exec.execute_into(&mut out).expect("execution succeeds");
+                black_box(out.to_dense().sum());
+            });
+            let r = nplan.report();
+            h.note(
+                &id,
+                format!(
+                    "{{\"strategy\": \"{}\", \"chosen_flops\": {}, \"greedy_flops\": {}, \
+                     \"evaluated_pairs\": {}, \"truncated\": {}, \"dense_steps\": {}, \
+                     \"plan_ms\": {plan_ms:.3}}}",
+                    r.strategy,
+                    r.chosen_flops,
+                    r.greedy_flops,
+                    r.evaluated_pairs,
+                    r.truncated,
+                    nplan.num_dense_steps()
+                ),
+            );
+        }
+    }
+    let results = h.finish();
+
+    // Headline: the modeled-flops ratio is printed by describe(), the
+    // wall-time ratio comes from the recorded samples (greedy row then
+    // optimal row per workload).
+    println!("\nwall-time greedy/optimal (median):");
+    let median = |s: &[f64]| {
+        let mut v = s.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    for pair in results.chunks(2) {
+        let [(gid, gs), (_oid, os)] = pair else {
+            continue;
+        };
+        println!(
+            "{:<40} {:>5.2}x",
+            gid.replace("greedy  ", ""),
+            median(gs) / median(os)
+        );
+    }
+}

@@ -21,11 +21,13 @@
 
 use rand::prelude::*;
 use spttn::exec::naive_einsum;
+use spttn::ir::Kernel;
 use spttn::tensor::{load_coo, random_dense, read_tns, CooTensor, Csf, DenseTensor};
 use spttn::{
     Contraction, ContractionOutput, CostModel, Engine, Microkernels, ModeOrderPolicy, Plan,
     PlanOptions, Shapes, Threads,
 };
+use spttn_net::{NetOptions, Network, OrderStrategy};
 use std::time::Instant;
 
 const CHECK_TOL: f64 = 1e-9;
@@ -37,9 +39,15 @@ fn usage() -> ! {
 USAGE:
     spttn run  <EXPR> (--tns FILE | --mtx FILE) [OPTIONS]
     spttn plan <EXPR> (--tns FILE | --mtx FILE | --dims DxDxD --nnz N) [OPTIONS]
+    spttn net  <EXPR> (--tns FILE | --mtx FILE | --dims DxDxD --nnz N) [OPTIONS]
 
 EXPR uses either syntax, first right-hand-side tensor sparse:
     \"A(i,a) = T(i,j,k) * B(j,a) * C(k,a)\"   or   \"T[i,j,k]*B[j,a]*C[k,a]->A[i,a]\"
+
+'spttn net' plans (and, given a tensor file, executes) a multi-tensor
+network: the dense factors may share indices among themselves, the
+pairwise contraction order is searched (--order), dense-dense steps are
+materialized, and the sparse spine collapses into one planned kernel.
 
 INPUT:
     --tns FILE            FROSTT text tensor (1-based coords, '#' comments)
@@ -50,7 +58,12 @@ INPUT:
 OPTIONS:
     --rank N              dimension for every index not on the sparse tensor [16]
     --dim name=N          dimension for one index (overrides --rank)
-    --threads N           execution threads [1]
+    --threads N|auto      execution threads (at least 1, or 'auto' for one
+                          per hardware core) [1]
+    --order O             network contraction order: greedy | optimal
+                          (budgeted exact subset sweep; 'spttn net' only) [greedy]
+    --budget N            pair-cost evaluation budget for --order optimal
+                          [1000000]
     --engine E            tape (bind-time compiled instruction tape) |
                           interp (recursive oracle interpreter)  [tape]
     --microkernels M      auto (explicit-SIMD kernels by CPU detection, fused
@@ -84,7 +97,9 @@ struct Args {
     nnz: Option<u64>,
     rank: usize,
     dim_overrides: Vec<(String, usize)>,
-    threads: usize,
+    threads: Threads,
+    order: OrderStrategy,
+    budget: u64,
     engine: Engine,
     microkernels: Microkernels,
     cost_model: CostModel,
@@ -173,9 +188,9 @@ fn parse_args() -> Args {
     if cmd == "-h" || cmd == "--help" || cmd == "help" {
         usage();
     }
-    if cmd != "run" && cmd != "plan" {
+    if cmd != "run" && cmd != "plan" && cmd != "net" {
         fail(format!(
-            "unknown command '{cmd}' (expected 'run' or 'plan')"
+            "unknown command '{cmd}' (expected 'run', 'plan', or 'net')"
         ));
     }
     let Some(expr) = argv.next() else {
@@ -190,7 +205,9 @@ fn parse_args() -> Args {
         nnz: None,
         rank: 16,
         dim_overrides: Vec::new(),
-        threads: 1,
+        threads: Threads::N(1),
+        order: OrderStrategy::Greedy,
+        budget: 1_000_000,
         engine: Engine::Tape,
         microkernels: Microkernels::Auto,
         cost_model: CostModel::BlasAware {
@@ -234,9 +251,30 @@ fn parse_args() -> Args {
                 args.dim_overrides.push((name.trim().to_string(), d));
             }
             "--threads" => {
-                args.threads = value(&mut argv, "--threads")
+                let v = value(&mut argv, "--threads");
+                args.threads = if v == "auto" {
+                    Threads::Auto
+                } else {
+                    match v.parse::<usize>() {
+                        Ok(0) => fail("--threads must be at least 1 (or 'auto')"),
+                        Ok(n) => Threads::N(n),
+                        Err(_) => fail(format!(
+                            "bad --threads value '{v}' (expected a positive integer or 'auto')"
+                        )),
+                    }
+                }
+            }
+            "--order" => {
+                args.order = match value(&mut argv, "--order").as_str() {
+                    "greedy" => OrderStrategy::Greedy,
+                    "optimal" => OrderStrategy::Optimal,
+                    other => fail(format!("unknown order '{other}' (greedy, optimal)")),
+                }
+            }
+            "--budget" => {
+                args.budget = value(&mut argv, "--budget")
                     .parse()
-                    .unwrap_or_else(|_| fail("bad --threads value"))
+                    .unwrap_or_else(|_| fail("bad --budget value"))
             }
             "--engine" => args.engine = parse_engine(&value(&mut argv, "--engine")),
             "--microkernels" => {
@@ -289,10 +327,12 @@ fn load_input(args: &Args) -> Option<CooTensor> {
 /// Assemble the symbolic shapes: sparse dims from the ingested tensor
 /// (or --dims), dense-only dims from --rank/--dim, sparsity from the
 /// pattern (or --nnz).
-fn build_shapes(args: &Args, contraction: &Contraction, coo: Option<&CooTensor>) -> Shapes {
-    let sparse_names = contraction
-        .sparse_index_names()
-        .unwrap_or_else(|| fail("expression has no sparse input"));
+fn build_shapes(
+    args: &Args,
+    sparse_names: &[String],
+    all_names: &[String],
+    coo: Option<&CooTensor>,
+) -> Shapes {
     let sparse_dims: Vec<usize> = match coo {
         Some(c) => c.dims().to_vec(),
         None => args.dims.clone().unwrap_or_else(|| {
@@ -311,9 +351,9 @@ fn build_shapes(args: &Args, contraction: &Contraction, coo: Option<&CooTensor>)
     for (name, &dim) in sparse_names.iter().zip(&sparse_dims) {
         shapes = shapes.with_dim(name, dim);
     }
-    for name in contraction.all_index_names() {
-        if !sparse_names.contains(&name) {
-            shapes = shapes.with_dim(&name, args.rank);
+    for name in all_names {
+        if !sparse_names.contains(name) {
+            shapes = shapes.with_dim(name, args.rank);
         }
     }
     for (name, dim) in &args.dim_overrides {
@@ -363,14 +403,11 @@ fn print_plan(plan: &Plan) {
 }
 
 fn check_against_oracle(
-    plan: &Plan,
+    kernel: &Kernel,
     coo: &CooTensor,
     factors: &[(String, DenseTensor)],
     got: &ContractionOutput,
 ) -> f64 {
-    // The oracle contracts written-order dense operands, so use the
-    // kernel with the storage permutation undone.
-    let kernel = plan.natural_kernel();
     let sparse_dense = coo.to_dense();
     let mut slots: Vec<&DenseTensor> = Vec::new();
     let mut next = 0usize;
@@ -383,7 +420,7 @@ fn check_against_oracle(
             next += 1;
         }
     }
-    let want = naive_einsum(&kernel, &slots).unwrap_or_else(|e| fail(format!("oracle: {e}")));
+    let want = naive_einsum(kernel, &slots).unwrap_or_else(|e| fail(format!("oracle: {e}")));
     let got_dense = match got {
         ContractionOutput::Dense(d) => d.clone(),
         ContractionOutput::Sparse(c) => c.to_dense(),
@@ -396,13 +433,10 @@ fn check_against_oracle(
         .fold(0.0f64, f64::max)
 }
 
-fn main() {
-    let args = parse_args();
-    let contraction =
-        Contraction::parse(&args.expr).unwrap_or_else(|e| fail(format!("parse: {e}")));
-
+/// Print the ingest line and return the loaded COO tensor (if any).
+fn ingest(args: &Args) -> Option<CooTensor> {
     let t_ingest = Instant::now();
-    let coo = load_input(&args);
+    let coo = load_input(args);
     if let Some(c) = &coo {
         println!(
             "ingest: {} modes {:?}, {} nonzeros ({:.1} ms)",
@@ -412,11 +446,167 @@ fn main() {
             t_ingest.elapsed().as_secs_f64() * 1e3
         );
     }
+    coo
+}
 
-    let shapes = build_shapes(&args, &contraction, coo.as_ref());
+/// Seeded random dense factors, one per dense input slot of `kernel`
+/// (a name filling several slots reuses one tensor, matching the
+/// executors' bind-by-name semantics). Returns slot-order `factors`
+/// for the oracle and deduplicated `named` views for binding.
+fn make_factors(kernel: &Kernel, seed: u64) -> Vec<(String, DenseTensor)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut factors: Vec<(String, DenseTensor)> = Vec::new();
+    for (slot, r) in kernel.inputs.iter().enumerate() {
+        if slot == kernel.sparse_input {
+            continue;
+        }
+        let t = match factors.iter().find(|(n, _)| *n == r.name) {
+            Some((_, t)) => t.clone(),
+            None => random_dense(&kernel.ref_dims(r), &mut rng),
+        };
+        factors.push((r.name.clone(), t));
+    }
+    factors
+}
+
+fn dedup_named(factors: &[(String, DenseTensor)]) -> Vec<(&str, &DenseTensor)> {
+    let mut named: Vec<(&str, &DenseTensor)> = Vec::new();
+    for (name, t) in factors {
+        if !named.iter().any(|(n, _)| n == name) {
+            named.push((name, t));
+        }
+    }
+    named
+}
+
+fn report_check(diff: f64) {
+    println!("check: max |Δ| vs naive oracle = {diff:.3e}");
+    if diff.is_nan() || diff > CHECK_TOL {
+        eprintln!("error: oracle mismatch exceeds {CHECK_TOL:e}");
+        std::process::exit(2);
+    }
+    println!("check: OK (tolerance {CHECK_TOL:e})");
+}
+
+/// `spttn net`: plan (and, given a tensor file, execute) a multi-tensor
+/// network through the sequence planner and pooled executor.
+fn run_net(args: &Args) {
+    let net = Network::parse(&args.expr).unwrap_or_else(|e| fail(format!("parse: {e}")));
+    let coo = ingest(args);
+    let shapes = build_shapes(
+        args,
+        &net.sparse_index_names(),
+        &net.all_index_names(),
+        coo.as_ref(),
+    );
+    let popts = PlanOptions::with_cost_model(args.cost_model)
+        .with_mode_order(args.mode_order.clone())
+        .with_threads(args.threads)
+        .with_engine(args.engine)
+        .with_microkernels(args.microkernels)
+        .with_verify(args.verify);
+    let nopts = NetOptions::default()
+        .with_order(args.order)
+        .with_budget(args.budget)
+        .with_plan_options(popts);
+
+    let t_plan = Instant::now();
+    let nplan = net
+        .plan(&shapes, &nopts)
+        .unwrap_or_else(|e| fail(format!("plan: {e}")));
+    let plan_ms = t_plan.elapsed().as_secs_f64() * 1e3;
+    print!("{}", nplan.describe());
+    let report = nplan.report();
+    println!(
+        "search:  {} pair evaluations ({})",
+        report.evaluated_pairs, report.strategy
+    );
+    println!("planned in {plan_ms:.1} ms");
+    if args.verify {
+        let vr = nplan
+            .kernel_plan()
+            .verify_tape()
+            .unwrap_or_else(|e| fail(format!("verify: {e}")));
+        println!("{vr}");
+    }
+    // Without a tensor file this is a planning run, like 'spttn plan'.
+    let Some(coo) = coo else { return };
+
+    let natural_order: Vec<usize> = (0..coo.order()).collect();
+    let csf = Csf::from_coo(&coo, &natural_order).unwrap_or_else(|e| fail(format!("csf: {e}")));
+    let kernel = nplan.kernel().clone();
+    let factors = make_factors(&kernel, args.seed);
+    let named = dedup_named(&factors);
+    let t_bind = Instant::now();
+    let mut exec = nplan
+        .bind(csf, &named)
+        .unwrap_or_else(|e| fail(format!("bind: {e}")));
+    println!(
+        "bind: {} thread(s), {} dense step(s) feeding the collapsed kernel ({:.1} ms)",
+        exec.threads(),
+        exec.num_dense_steps(),
+        t_bind.elapsed().as_secs_f64() * 1e3
+    );
+
+    let mut out = exec.output_template();
+    let mut best = f64::INFINITY;
+    for rep in 0..args.repeat {
+        if rep > 0 {
+            out = exec.output_template();
+        }
+        let t = Instant::now();
+        exec.execute_into(&mut out)
+            .unwrap_or_else(|e| fail(format!("execute: {e}")));
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    println!(
+        "execute: best {:.3} ms over {} run(s)",
+        best * 1e3,
+        args.repeat
+    );
+    let stats = exec.kernel_stats();
+    println!(
+        "stats: dense steps ~{} flops; kernel axpy {} dot {} xmul {} ger {} gemv {} \
+         ({} dispatches over {} elements)",
+        exec.dense_step_flops(),
+        stats.axpy,
+        stats.dot,
+        stats.xmul,
+        stats.ger,
+        stats.gemv,
+        stats.total(),
+        stats.elems()
+    );
+
+    if args.check {
+        // The network kernel is written-order by construction, so it is
+        // its own oracle kernel.
+        report_check(check_against_oracle(&kernel, &coo, &factors, &out));
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if args.cmd == "net" {
+        run_net(&args);
+        return;
+    }
+    let contraction =
+        Contraction::parse(&args.expr).unwrap_or_else(|e| fail(format!("parse: {e}")));
+
+    let coo = ingest(&args);
+    let sparse_names = contraction
+        .sparse_index_names()
+        .unwrap_or_else(|| fail("expression has no sparse input"));
+    let shapes = build_shapes(
+        &args,
+        &sparse_names,
+        &contraction.all_index_names(),
+        coo.as_ref(),
+    );
     let opts = PlanOptions::with_cost_model(args.cost_model)
         .with_mode_order(args.mode_order.clone())
-        .with_threads(Threads::N(args.threads))
+        .with_threads(args.threads)
         .with_engine(args.engine)
         .with_microkernels(args.microkernels)
         .with_verify(args.verify);
@@ -449,27 +639,8 @@ fn main() {
     // order) plus seeded random factors, one per dense input slot name.
     let natural_order: Vec<usize> = (0..coo.order()).collect();
     let csf = Csf::from_coo(&coo, &natural_order).unwrap_or_else(|e| fail(format!("csf: {e}")));
-    let mut rng = StdRng::seed_from_u64(args.seed);
-    let kernel = plan.kernel().clone();
-    let mut factors: Vec<(String, DenseTensor)> = Vec::new();
-    for (slot, r) in kernel.inputs.iter().enumerate() {
-        if slot == kernel.sparse_input {
-            continue;
-        }
-        // A name filling several slots reuses one tensor, matching the
-        // executor's bind semantics (each name bound once).
-        let t = match factors.iter().find(|(n, _)| *n == r.name) {
-            Some((_, t)) => t.clone(),
-            None => random_dense(&kernel.ref_dims(r), &mut rng),
-        };
-        factors.push((r.name.clone(), t));
-    }
-    let mut named: Vec<(&str, &DenseTensor)> = Vec::new();
-    for (name, t) in &factors {
-        if !named.iter().any(|(n, _)| n == name) {
-            named.push((name, t));
-        }
-    }
+    let factors = make_factors(plan.kernel(), args.seed);
+    let named = dedup_named(&factors);
     let t_bind = Instant::now();
     let mut exec = plan
         .bind(csf, &named)
@@ -541,12 +712,13 @@ fn main() {
     );
 
     if args.check {
-        let diff = check_against_oracle(&plan, &coo, &factors, &out);
-        println!("check: max |Δ| vs naive oracle = {diff:.3e}");
-        if diff.is_nan() || diff > CHECK_TOL {
-            eprintln!("error: oracle mismatch exceeds {CHECK_TOL:e}");
-            std::process::exit(2);
-        }
-        println!("check: OK (tolerance {CHECK_TOL:e})");
+        // The oracle contracts written-order dense operands, so check
+        // against the kernel with the storage permutation undone.
+        report_check(check_against_oracle(
+            &plan.natural_kernel(),
+            &coo,
+            &factors,
+            &out,
+        ));
     }
 }

@@ -1,0 +1,233 @@
+//! Network description: parsing and structural validation.
+
+use spttn::ir::{Kernel, KernelBuilder, KernelError, MAX_INDICES};
+use spttn::{Contraction, PlanCache, Result, Shapes, SpttnError};
+
+use crate::plan::NetworkPlan;
+use crate::planner::NetOptions;
+
+/// Name prefix reserved for materialized intermediates (`_net{t}` for
+/// the intermediate produced by path term `t`).
+pub(crate) const INTER_PREFIX: &str = "_net";
+
+/// A parsed tensor-network contraction: one sparse tensor (the first
+/// right-hand-side factor) times arbitrarily many dense tensors with
+/// shared indices, reduced to a single output.
+///
+/// Structure only — dimensions and sparsity arrive at [`Network::plan`]
+/// time through [`Shapes`], mirroring the two-stage [`Contraction`]
+/// API.
+#[derive(Debug, Clone)]
+pub struct Network {
+    expr: String,
+    /// `(name, written index names)`; entry 0 is the sparse tensor.
+    inputs: Vec<(String, Vec<String>)>,
+    output: (String, Vec<String>),
+    accumulate: bool,
+}
+
+impl Network {
+    /// Parse an einsum-style network expression, e.g.
+    /// `"T[i,j,k]*A[j,r]*B[k,r]*C[r,s] -> O[i,s]"` (or the `O[..] = ..`
+    /// form). The first factor is the sparse tensor; every other factor
+    /// is dense. Unlike [`Contraction`], the dense factors may share
+    /// indices among themselves that never touch the sparse tensor
+    /// (chains, trees, rings).
+    pub fn parse(expr: &str) -> Result<Self> {
+        let c = Contraction::parse(expr)?;
+        let inputs = c.input_refs();
+        let output = c.output_ref().expect("parse always sets an output");
+        for (name, _) in inputs.iter().chain(std::iter::once(&output)) {
+            if name.starts_with(INTER_PREFIX) {
+                return Err(SpttnError::Kernel(KernelError::Parse(format!(
+                    "tensor name '{name}' uses the reserved intermediate prefix '{INTER_PREFIX}'"
+                ))));
+            }
+        }
+        // The same name written twice with the same indices is one
+        // shared operand (legal); with different indices it would make
+        // by-name binding ambiguous.
+        for (i, (name, inds)) in inputs.iter().enumerate() {
+            for (other, oinds) in &inputs[i + 1..] {
+                if name == other && inds != oinds {
+                    return Err(SpttnError::Kernel(KernelError::Parse(format!(
+                        "tensor '{name}' appears twice with different indices \
+                         ({inds:?} vs {oinds:?})"
+                    ))));
+                }
+            }
+        }
+        let distinct = c.all_index_names().len();
+        if distinct > MAX_INDICES {
+            return Err(KernelError::TooManyIndices(distinct).into());
+        }
+        Ok(Network {
+            expr: expr.to_string(),
+            inputs,
+            output,
+            accumulate: c.is_accumulate(),
+        })
+    }
+
+    /// The original expression string.
+    pub fn expr(&self) -> &str {
+        &self.expr
+    }
+
+    /// Number of input tensors in the network.
+    pub fn num_tensors(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// True when execution accumulates into the bound output (`+=`).
+    pub fn is_accumulate(&self) -> bool {
+        self.accumulate
+    }
+
+    /// Input references as `(name, written index names)`; entry 0 is
+    /// the sparse tensor.
+    pub fn input_refs(&self) -> &[(String, Vec<String>)] {
+        &self.inputs
+    }
+
+    /// The output reference as `(name, written index names)`.
+    pub fn output_ref(&self) -> &(String, Vec<String>) {
+        &self.output
+    }
+
+    /// Index names written on the sparse tensor, in written (CSF
+    /// storage) order.
+    pub fn sparse_index_names(&self) -> Vec<String> {
+        self.inputs[0].1.clone()
+    }
+
+    /// All distinct index names, inputs first in first-appearance
+    /// order. Drivers use this to know which dimensions need declaring.
+    pub fn all_index_names(&self) -> Vec<String> {
+        let mut seen: Vec<String> = Vec::new();
+        for (_, inds) in &self.inputs {
+            for n in inds {
+                if !seen.contains(n) {
+                    seen.push(n.clone());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Distinct dense factor names (everything except the sparse
+    /// tensor), in expression order — the names a bind must supply.
+    pub fn dense_factor_names(&self) -> Vec<String> {
+        let mut seen: Vec<String> = Vec::new();
+        for (name, _) in &self.inputs[1..] {
+            if !seen.contains(name) {
+                seen.push(name.clone());
+            }
+        }
+        seen
+    }
+
+    /// Resolve the whole network into a single validated [`Kernel`]
+    /// (every index dimension comes from `shapes`). Path enumeration,
+    /// cost modeling, and the naive-einsum oracle all operate on this
+    /// kernel; the lowered execution never materializes it as one loop
+    /// nest unless the chosen path puts every factor on the sparse
+    /// spine.
+    pub fn kernel(&self, shapes: &Shapes) -> Result<Kernel> {
+        let mut b = KernelBuilder::new();
+        for (_, inds) in &self.inputs {
+            for idx in inds {
+                let dim = shapes.dim(idx).ok_or_else(|| {
+                    SpttnError::Planning(format!(
+                        "no dimension bound for index '{idx}'; call Shapes::with_dim(\"{idx}\", ...)"
+                    ))
+                })?;
+                b = b.index(idx, dim);
+            }
+        }
+        let oinds: Vec<&str> = self.output.1.iter().map(String::as_str).collect();
+        b = b.output(&self.output.0, &oinds);
+        for (name, inds) in &self.inputs {
+            let iinds: Vec<&str> = inds.iter().map(String::as_str).collect();
+            b = b.input(name, &iinds);
+        }
+        // Pattern-sharing output when its index set equals the sparse
+        // tensor's — the same rule the single-kernel facade applies.
+        let mut oset: Vec<&String> = self.output.1.iter().collect();
+        let mut sset: Vec<&String> = self.inputs[0].1.iter().collect();
+        oset.sort();
+        oset.dedup();
+        sset.sort();
+        sset.dedup();
+        if oset == sset {
+            b = b.sparse_output();
+        }
+        Ok(b.build()?)
+    }
+
+    /// **Stage 1 — symbolic planning.** Search contraction orders under
+    /// `opts`, lower the winner, and plan the collapsed sparse kernel
+    /// with the Sec. 5 pipeline. The returned [`NetworkPlan`] can be
+    /// bound to many operand sets.
+    pub fn plan(&self, shapes: &Shapes, opts: &NetOptions) -> Result<NetworkPlan> {
+        NetworkPlan::new(self, shapes, None, opts)
+    }
+
+    /// Like [`Network::plan`], but the per-step sparse-kernel plan is
+    /// looked up in `cache` first (single-flight on a miss) — repeated
+    /// sweeps over the same network re-plan nothing.
+    pub fn plan_cached(
+        &self,
+        cache: &PlanCache,
+        shapes: &Shapes,
+        opts: &NetOptions,
+    ) -> Result<NetworkPlan> {
+        NetworkPlan::new(self, shapes, Some(cache), opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multi_tensor_networks() {
+        let n = Network::parse("T[i,j,k]*A[j,r]*B[k,r]*C[r,s] -> O[i,s]").unwrap();
+        assert_eq!(n.num_tensors(), 4);
+        assert_eq!(n.sparse_index_names(), vec!["i", "j", "k"]);
+        assert_eq!(n.dense_factor_names(), vec!["A", "B", "C"]);
+        assert_eq!(n.all_index_names(), vec!["i", "j", "k", "r", "s"]);
+        assert!(!n.is_accumulate());
+    }
+
+    #[test]
+    fn rejects_reserved_intermediate_prefix() {
+        let e = Network::parse("T[i,j]*_net0[j,k] -> O[i,k]");
+        assert!(e.is_err(), "reserved prefix must be rejected");
+    }
+
+    #[test]
+    fn rejects_conflicting_duplicate_names() {
+        let e = Network::parse("T[i,j]*A[j,k]*A[k] -> O[i]");
+        assert!(e.is_err());
+        // Identical duplicates are one shared operand.
+        assert!(Network::parse("T[i,j]*A[j,r]*A[j,r] -> O[i]").is_ok());
+    }
+
+    #[test]
+    fn rejects_output_only_index() {
+        let e = Network::parse("T[i,j]*A[j,r] -> O[i,z]");
+        assert!(e.is_err(), "output index bound by no input");
+    }
+
+    #[test]
+    fn kernel_requires_all_dims() {
+        let n = Network::parse("T[i,j]*A[j,r] -> O[i,r]").unwrap();
+        let missing = Shapes::new().with_dims(&[("i", 4), ("j", 5)]);
+        assert!(n.kernel(&missing).is_err());
+        let full = missing.with_dim("r", 3);
+        let k = n.kernel(&full).unwrap();
+        assert_eq!(k.inputs.len(), 2);
+        assert_eq!(k.sparse_input, 0);
+    }
+}

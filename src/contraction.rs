@@ -384,6 +384,54 @@ impl Shapes {
         self.dims.get(name).copied()
     }
 
+    /// Resolve the sparsity description into a natural-(written-)order
+    /// [`SparsityProfile`] for a sparse input whose written index names
+    /// are `names` — the profile multi-kernel schedulers (`spttn-net`)
+    /// score candidate contraction sequences against before any
+    /// per-step plan exists. Exact when built from
+    /// [`Shapes::with_profile`] or [`Shapes::with_pattern`]; the
+    /// uniform model under [`Shapes::with_nnz`].
+    pub fn natural_profile(&self, names: &[String]) -> Result<SparsityProfile> {
+        let mut dims = Vec::with_capacity(names.len());
+        for n in names {
+            dims.push(self.dim(n).ok_or_else(|| {
+                SpttnError::Planning(format!(
+                    "no dimension bound for index '{n}'; call Shapes::with_dim(\"{n}\", ...)"
+                ))
+            })?);
+        }
+        let natural: Vec<usize> = (0..names.len()).collect();
+        if let Some(p) = &self.profile {
+            if p.order() != names.len() {
+                return Err(SpttnError::Shape(format!(
+                    "sparsity profile has {} modes but the sparse input has {}",
+                    p.order(),
+                    names.len()
+                )));
+            }
+            return Ok(p.clone());
+        }
+        if let Some(p) = &self.pattern {
+            if p.coo.order() != names.len() {
+                return Err(SpttnError::Shape(format!(
+                    "sparsity pattern has {} modes but the sparse input has {}",
+                    p.coo.order(),
+                    names.len()
+                )));
+            }
+            return SparsityProfile::from_coo(&p.coo, &natural).map_err(SpttnError::from);
+        }
+        if let Some(nnz) = self.nnz {
+            return SparsityProfile::uniform(&dims, &natural, nnz).map_err(SpttnError::from);
+        }
+        Err(SpttnError::Planning(
+            "no sparsity information for the sparse input; call Shapes::with_nnz \
+             (uniform model), Shapes::with_pattern (exact coordinates), or \
+             Shapes::with_profile (exact counts)"
+                .into(),
+        ))
+    }
+
     /// Resolve the sparsity source the planner runs on, validated
     /// against the kernel's sparse-input dimensions.
     pub(crate) fn resolve_source(&self, kernel: &Kernel) -> Result<SparsitySource> {
@@ -525,6 +573,16 @@ impl Contraction {
         if inputs.is_empty() {
             return Err(KernelError::NoInputs.into());
         }
+        // An output index appearing in no input factor has nothing to
+        // produce it; reject at parse time with the offending name
+        // instead of surfacing later as an opaque planner error.
+        for idx in &output.indices {
+            if !inputs.iter().any(|r| r.indices.contains(idx)) {
+                return Err(SpttnError::Kernel(KernelError::Parse(format!(
+                    "output index '{idx}' appears in no input factor of '{expr}'"
+                ))));
+            }
+        }
         Ok(Contraction {
             output: Some(output),
             inputs,
@@ -567,6 +625,31 @@ impl Contraction {
             );
         }
         self.inputs.first().map(|r| r.indices.clone())
+    }
+
+    /// Parsed input tensor references as `(name, written index names)`
+    /// pairs, in expression order — the first entry is the sparse
+    /// input. Multi-kernel schedulers (the `spttn-net` crate) read the
+    /// network structure through this instead of re-parsing.
+    pub fn input_refs(&self) -> Vec<(String, Vec<String>)> {
+        self.inputs
+            .iter()
+            .map(|r| (r.name.clone(), r.indices.clone()))
+            .collect()
+    }
+
+    /// The parsed output reference as `(name, written index names)`,
+    /// `None` before an expression is parsed.
+    pub fn output_ref(&self) -> Option<(String, Vec<String>)> {
+        self.output
+            .as_ref()
+            .map(|r| (r.name.clone(), r.indices.clone()))
+    }
+
+    /// True when execution accumulates into the bound output (a `+=`
+    /// expression, or [`Contraction::with_accumulate`]).
+    pub fn is_accumulate(&self) -> bool {
+        self.accumulate
     }
 
     /// All distinct index names in the expression, inputs first (in

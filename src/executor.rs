@@ -641,3 +641,14 @@ impl Executor {
         self.plan.describe()
     }
 }
+
+// Pooling contract: executors are checked out of a pool on one thread
+// and executed on another (`spttn-net` routes intermediates this way),
+// so `Executor` must stay `Send`. The worker pool inside
+// `ParallelExecutor` owns its threads and shares state only through
+// `Mutex`/`Condvar`; this assertion turns any future non-`Send` field
+// into a compile error instead of a downstream breakage.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Executor>();
+};

@@ -2,6 +2,7 @@
 //! racing a cold key run the planner once, not N times.
 
 use spttn::{Contraction, ModeOrderPolicy, PlanCache, PlanOptions, Shapes};
+use spttn_net::{NetOptions, Network, NetworkPlan};
 use std::sync::{Arc, Barrier};
 
 const EXPR: &str = "T[i,j,k]*B[j,r]*C[k,r]->A[i,r]";
@@ -219,4 +220,85 @@ fn cache_hit_reapplies_microkernel_option() {
         )
         .unwrap();
     assert!(Arc::ptr_eq(&p1, &p3));
+}
+
+/// One network per CP-ALS mode, planned twice against a shared cache:
+/// the cold pass misses once per distinct collapsed kernel, the second
+/// pass re-plans nothing — every step is a hit.
+#[test]
+fn network_sweep_hits_cache_on_second_pass() {
+    let cache = PlanCache::new();
+    let nopts = NetOptions::default();
+    let sweep = [
+        "T[i,j,k]*B[j,r]*C[k,r] -> A_new[i,r]",
+        "T[i,j,k]*A[i,r]*C[k,r] -> B_new[j,r]",
+        "T[i,j,k]*A[i,r]*B[j,r] -> C_new[k,r]",
+    ];
+    for pass in 0..2 {
+        for expr in &sweep {
+            Network::parse(expr)
+                .unwrap()
+                .plan_cached(&cache, &shapes(), &nopts)
+                .unwrap();
+        }
+        if pass == 0 {
+            assert_eq!(
+                (cache.hits(), cache.misses()),
+                (0, 3),
+                "cold pass plans each mode exactly once"
+            );
+        }
+    }
+    assert_eq!(cache.misses(), 3, "second pass must not re-plan any step");
+    assert_eq!(cache.hits(), 3);
+    assert_eq!(cache.len(), 3);
+}
+
+/// Two distinct networks, two racing planner threads each, one shared
+/// cache: single-flight holds per collapsed-kernel key, so each network
+/// plans exactly once and the racer on the same key waits and shares
+/// the same `Arc<Plan>`.
+#[test]
+fn racing_networks_share_flights() {
+    let cache = PlanCache::new();
+    let nopts = NetOptions::default();
+    let exprs = [
+        "T[i,j,k]*B[j,r]*C[k,r] -> A_new[i,r]",
+        "T[i,j,k]*A[i,r]*C[k,r] -> B_new[j,r]",
+    ];
+    const RACERS: usize = 2;
+    let barrier = Arc::new(Barrier::new(exprs.len() * RACERS));
+    let plans: Vec<Vec<NetworkPlan>> = std::thread::scope(|scope| {
+        let handles: Vec<Vec<_>> = exprs
+            .iter()
+            .map(|expr| {
+                (0..RACERS)
+                    .map(|_| {
+                        let barrier = Arc::clone(&barrier);
+                        let cache = &cache;
+                        let nopts = &nopts;
+                        scope.spawn(move || {
+                            let net = Network::parse(expr).unwrap();
+                            let shapes = shapes();
+                            barrier.wait();
+                            net.plan_cached(cache, &shapes, nopts).unwrap()
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|hs| hs.into_iter().map(|h| h.join().unwrap()).collect())
+            .collect()
+    });
+    assert_eq!(cache.misses(), 2, "one planner run per distinct network");
+    assert_eq!(cache.hits(), 2);
+    assert_eq!(cache.len(), 2);
+    for group in &plans {
+        assert!(
+            Arc::ptr_eq(group[0].kernel_plan(), group[1].kernel_plan()),
+            "racers on one key must share the flight leader's plan"
+        );
+    }
 }

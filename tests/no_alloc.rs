@@ -12,6 +12,7 @@
 use rand::prelude::*;
 use spttn::tensor::{random_coo, random_dense, Csf, SparsityProfile};
 use spttn::{Contraction, CostModel, PlanOptions, Shapes, Threads};
+use spttn_net::{NetOptions, Network};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -169,5 +170,45 @@ fn execute_into_performs_zero_heap_allocations() {
     assert!(
         exec.last_stats().total() > fold_bound,
         "workload too small to distinguish per-op RMWs from folds"
+    );
+
+    // Network executor: materialized dense steps feeding a collapsed
+    // sparse kernel must also run allocation-free in steady state,
+    // including a factor swap that fans out through the routing table.
+    // `D1(j,m)*D2(m,r)` is far cheaper than touching the 350-nonzero
+    // sparse tensor first, so the planner materializes it off-spine.
+    let coo = random_coo(&[30, 20], 350, &mut rng).unwrap();
+    let csf = Csf::from_coo(&coo, &[0, 1]).unwrap();
+    let d1 = random_dense(&[20, 4], &mut rng);
+    let d2 = random_dense(&[4, 5], &mut rng);
+    let d1_new = random_dense(&[20, 4], &mut rng);
+    let net = Network::parse("T[i,j]*D1[j,m]*D2[m,r]->O[i,r]").unwrap();
+    let nplan = net
+        .plan(
+            &Shapes::new()
+                .with_dims(&[("i", 30), ("j", 20), ("m", 4), ("r", 5)])
+                .with_profile(SparsityProfile::from_csf(&csf)),
+            &NetOptions::default(),
+        )
+        .unwrap();
+    assert!(
+        nplan.num_dense_steps() >= 1,
+        "D1*D2 should materialize off the sparse spine"
+    );
+    let mut exec = nplan.bind(csf, &[("D1", &d1), ("D2", &d2)]).unwrap();
+    let mut out = exec.output_template();
+    exec.execute_into(&mut out).unwrap();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..3 {
+        exec.execute_into(&mut out).unwrap();
+    }
+    exec.set_factor("D1", &d1_new).unwrap();
+    exec.execute_into(&mut out).unwrap();
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "network execute_into / set_factor allocated on the heap"
     );
 }

@@ -57,6 +57,22 @@ fn facade_arrow_syntax_rejects_stray_stars() {
 }
 
 #[test]
+fn facade_rejects_output_only_indices() {
+    // An output index no input binds has no loop to produce it; the
+    // parser must name the offending index, in both syntaxes.
+    for expr in ["A(i,z) = T(i,j) * B(j)", "T[i,j]*B[j,r]->A[i,z]"] {
+        let e = Contraction::parse(expr).unwrap_err();
+        match e {
+            SpttnError::Kernel(KernelError::Parse(m)) => assert!(
+                m.contains("output index 'z'"),
+                "'{expr}': wrong message '{m}'"
+            ),
+            other => panic!("'{expr}': expected Parse(output index), got {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn well_formed_expressions_still_parse() {
     assert!(parse_kernel("A(i) = T(i,j) * B(j)", DIMS).is_ok());
     assert!(Contraction::parse("A(i) = T(i,j) * B(j)").is_ok());
