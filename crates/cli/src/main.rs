@@ -14,7 +14,8 @@
 //!     --nnz 50000 --rank 16 --mode-order auto
 //! ```
 //!
-//! Exit codes: 0 success, 1 usage or pipeline error, 2 oracle mismatch.
+//! Exit codes: 0 success, 1 usage or pipeline error, 2 oracle mismatch,
+//! 3 cancelled (deadline expired), 4 budget rejected.
 
 // The CLI only orchestrates the library: no unsafe code, ever.
 #![forbid(unsafe_code)]
@@ -25,10 +26,10 @@ use spttn::ir::Kernel;
 use spttn::tensor::{load_coo, random_dense, read_tns, CooTensor, Csf, DenseTensor};
 use spttn::{
     Contraction, ContractionOutput, CostModel, Engine, Microkernels, ModeOrderPolicy, Plan,
-    PlanOptions, Shapes, Threads,
+    PlanOptions, RunBudget, Shapes, SpttnError, Threads,
 };
 use spttn_net::{NetOptions, Network, OrderStrategy};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const CHECK_TOL: f64 = 1e-9;
 
@@ -74,6 +75,11 @@ OPTIONS:
     --mode-order P        natural | auto | L0,L1,... (written positions) [natural]
     --seed S              seed for the random dense factors [42]
     --repeat K            execute K times, report best wall time [1]
+    --timeout DUR         wall-clock deadline per execution; suffix ms, s, or m
+                          (bare number = seconds). Expiry exits 3.
+    --max-mem BYTES       workspace-byte budget checked at bind; suffix K, M,
+                          or G (powers of 1024). Rejection exits 4.
+    --max-flops N         modeled-flop budget checked at bind. Rejection exits 4.
     --check               compare against the naive dense oracle (exit 2 on mismatch)
     --verify              statically verify the compiled tape and print the
                           proof summary (always on in debug builds)
@@ -85,6 +91,19 @@ OPTIONS:
 fn fail(msg: impl std::fmt::Display) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(1)
+}
+
+/// Report a pipeline error on one line with the exit code its kind
+/// maps to: 3 for cancellation/deadline expiry, 4 for budget
+/// rejection, 1 otherwise.
+fn fail_stage(stage: &str, e: SpttnError) -> ! {
+    let code = match &e {
+        SpttnError::Cancelled { .. } => 3,
+        SpttnError::BudgetExceeded { .. } => 4,
+        _ => 1,
+    };
+    eprintln!("error: {stage}: {e}");
+    std::process::exit(code)
 }
 
 #[derive(Debug)]
@@ -106,8 +125,48 @@ struct Args {
     mode_order: ModeOrderPolicy,
     seed: u64,
     repeat: usize,
+    timeout: Option<Duration>,
+    max_mem: Option<u64>,
+    max_flops: Option<u128>,
     check: bool,
     verify: bool,
+}
+
+/// Parse a duration with an optional `ms`/`s`/`m` suffix; a bare
+/// number means seconds.
+fn parse_duration(s: &str) -> Duration {
+    let (num, mul_ms) = if let Some(n) = s.strip_suffix("ms") {
+        (n, 1u64)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1_000)
+    } else if let Some(n) = s.strip_suffix('m') {
+        (n, 60_000)
+    } else {
+        (s, 1_000)
+    };
+    let v: u64 = num
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| fail(format!("bad duration '{s}' (e.g. 500ms, 2s, 1m)")));
+    Duration::from_millis(v.saturating_mul(mul_ms))
+}
+
+/// Parse a byte count with an optional `K`/`M`/`G` suffix (powers of
+/// 1024); a bare number means bytes.
+fn parse_bytes(s: &str) -> u64 {
+    let t = s.trim();
+    let (num, shift) = match t.chars().last() {
+        Some('K' | 'k') => (&t[..t.len() - 1], 10u32),
+        Some('M' | 'm') => (&t[..t.len() - 1], 20),
+        Some('G' | 'g') => (&t[..t.len() - 1], 30),
+        _ => (t, 0),
+    };
+    let v: u64 = num
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| fail(format!("bad byte count '{s}' (e.g. 4096, 64K, 16M, 2G)")));
+    v.checked_mul(1u64 << shift)
+        .unwrap_or_else(|| fail(format!("byte count '{s}' overflows")))
 }
 
 fn parse_cost_model(s: &str) -> CostModel {
@@ -216,6 +275,9 @@ fn parse_args() -> Args {
         mode_order: ModeOrderPolicy::Natural,
         seed: 42,
         repeat: 1,
+        timeout: None,
+        max_mem: None,
+        max_flops: None,
         check: false,
         verify: false,
     };
@@ -293,6 +355,15 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| fail("bad --repeat value"))
                     .max(1)
             }
+            "--timeout" => args.timeout = Some(parse_duration(&value(&mut argv, "--timeout"))),
+            "--max-mem" => args.max_mem = Some(parse_bytes(&value(&mut argv, "--max-mem"))),
+            "--max-flops" => {
+                args.max_flops = Some(
+                    value(&mut argv, "--max-flops")
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --max-flops value")),
+                )
+            }
             "--check" => args.check = true,
             "--verify" => args.verify = true,
             "-h" | "--help" => usage(),
@@ -300,6 +371,25 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// Map `--timeout` / `--max-mem` / `--max-flops` onto the execution
+/// options the plan carries into bind and execute.
+fn apply_limits(mut popts: PlanOptions, args: &Args) -> PlanOptions {
+    if let Some(t) = args.timeout {
+        popts = popts.with_deadline(t);
+    }
+    let mut budget = RunBudget::default();
+    if let Some(b) = args.max_mem {
+        budget = budget.with_max_workspace_bytes(b);
+    }
+    if let Some(f) = args.max_flops {
+        budget = budget.with_max_modeled_flops(f);
+    }
+    if budget.is_limited() {
+        popts = popts.with_budget(budget);
+    }
+    popts
 }
 
 /// Load the sparse input as COO, or `None` for file-less planning.
@@ -499,12 +589,15 @@ fn run_net(args: &Args) {
         &net.all_index_names(),
         coo.as_ref(),
     );
-    let popts = PlanOptions::with_cost_model(args.cost_model)
-        .with_mode_order(args.mode_order.clone())
-        .with_threads(args.threads)
-        .with_engine(args.engine)
-        .with_microkernels(args.microkernels)
-        .with_verify(args.verify);
+    let popts = apply_limits(
+        PlanOptions::with_cost_model(args.cost_model)
+            .with_mode_order(args.mode_order.clone())
+            .with_threads(args.threads)
+            .with_engine(args.engine)
+            .with_microkernels(args.microkernels)
+            .with_verify(args.verify),
+        args,
+    );
     let nopts = NetOptions::default()
         .with_order(args.order)
         .with_budget(args.budget)
@@ -540,7 +633,7 @@ fn run_net(args: &Args) {
     let t_bind = Instant::now();
     let mut exec = nplan
         .bind(csf, &named)
-        .unwrap_or_else(|e| fail(format!("bind: {e}")));
+        .unwrap_or_else(|e| fail_stage("bind", e));
     println!(
         "bind: {} thread(s), {} dense step(s) feeding the collapsed kernel ({:.1} ms)",
         exec.threads(),
@@ -556,7 +649,7 @@ fn run_net(args: &Args) {
         }
         let t = Instant::now();
         exec.execute_into(&mut out)
-            .unwrap_or_else(|e| fail(format!("execute: {e}")));
+            .unwrap_or_else(|e| fail_stage("execute", e));
         best = best.min(t.elapsed().as_secs_f64());
     }
     println!(
@@ -604,12 +697,15 @@ fn main() {
         &contraction.all_index_names(),
         coo.as_ref(),
     );
-    let opts = PlanOptions::with_cost_model(args.cost_model)
-        .with_mode_order(args.mode_order.clone())
-        .with_threads(args.threads)
-        .with_engine(args.engine)
-        .with_microkernels(args.microkernels)
-        .with_verify(args.verify);
+    let opts = apply_limits(
+        PlanOptions::with_cost_model(args.cost_model)
+            .with_mode_order(args.mode_order.clone())
+            .with_threads(args.threads)
+            .with_engine(args.engine)
+            .with_microkernels(args.microkernels)
+            .with_verify(args.verify),
+        &args,
+    );
 
     let t_plan = Instant::now();
     let plan = contraction
@@ -644,7 +740,7 @@ fn main() {
     let t_bind = Instant::now();
     let mut exec = plan
         .bind(csf, &named)
-        .unwrap_or_else(|e| fail(format!("bind: {e}")));
+        .unwrap_or_else(|e| fail_stage("bind", e));
     println!(
         "bind: {} thread(s), {} engine{}{} ({:.1} ms)",
         exec.threads(),
@@ -682,7 +778,7 @@ fn main() {
         }
         let t = Instant::now();
         exec.execute_into(&mut out)
-            .unwrap_or_else(|e| fail(format!("execute: {e}")));
+            .unwrap_or_else(|e| fail_stage("execute", e));
         best = best.min(t.elapsed().as_secs_f64());
     }
     let stats = exec.last_stats();

@@ -37,6 +37,28 @@ pub enum SpttnError {
     Shape(String),
     /// The executor was driven with inconsistent inputs.
     Execution(String),
+    /// Execution stopped cooperatively before completion — a
+    /// `CancelToken` fired or a deadline expired. `phase` names the
+    /// checkpoint that observed the stop ("tape", "interp",
+    /// "network"); `elapsed` is wall time since the execution started.
+    /// The caller-visible output holds no partial results.
+    Cancelled {
+        phase: &'static str,
+        elapsed: std::time::Duration,
+    },
+    /// A job panicked during parallel execution. Only the execution
+    /// that owned the job fails; the worker pool recovers. `worker` is
+    /// the tile index (0 = the calling thread), `payload` the panic
+    /// message when it was a string.
+    WorkerPanic { worker: usize, payload: String },
+    /// Admission control rejected the bind: the plan's modeled demand
+    /// for `resource` exceeds the configured `RunBudget`, even after
+    /// degrading to the cheapest feasible configuration.
+    BudgetExceeded {
+        resource: &'static str,
+        predicted: u128,
+        allowed: u128,
+    },
 }
 
 impl std::fmt::Display for SpttnError {
@@ -48,6 +70,25 @@ impl std::fmt::Display for SpttnError {
             SpttnError::Planning(m) => write!(f, "planning error: {m}"),
             SpttnError::Shape(m) => write!(f, "shape error: {m}"),
             SpttnError::Execution(m) => write!(f, "execution error: {m}"),
+            SpttnError::Cancelled { phase, elapsed } => {
+                write!(f, "execution cancelled during {phase} after {elapsed:?}")
+            }
+            SpttnError::WorkerPanic { worker, payload } => {
+                write!(
+                    f,
+                    "worker {worker} panicked during parallel execution: {payload}"
+                )
+            }
+            SpttnError::BudgetExceeded {
+                resource,
+                predicted,
+                allowed,
+            } => {
+                write!(
+                    f,
+                    "budget exceeded: predicted {resource} {predicted} > allowed {allowed}"
+                )
+            }
         }
     }
 }
@@ -92,6 +133,32 @@ mod tests {
         assert_eq!(e.to_string(), "planning error: no feasible nest");
         let k: SpttnError = KernelError::NoInputs.into();
         assert!(k.to_string().starts_with("kernel error:"));
+    }
+
+    #[test]
+    fn robustness_variants_display_their_numbers() {
+        let c = SpttnError::Cancelled {
+            phase: "tape",
+            elapsed: std::time::Duration::from_millis(12),
+        };
+        assert!(c.to_string().contains("cancelled during tape"));
+        let w = SpttnError::WorkerPanic {
+            worker: 3,
+            payload: "index out of bounds".into(),
+        };
+        assert_eq!(
+            w.to_string(),
+            "worker 3 panicked during parallel execution: index out of bounds"
+        );
+        let b = SpttnError::BudgetExceeded {
+            resource: "workspace bytes",
+            predicted: 4096,
+            allowed: 1024,
+        };
+        assert_eq!(
+            b.to_string(),
+            "budget exceeded: predicted workspace bytes 4096 > allowed 1024"
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! allocates a fresh workspace and output per call.
 
 use crate::blas;
+use crate::guard::RunGuard;
 use spttn_core::{Result, SpttnError};
 use spttn_ir::{
     buffers_for_forest, BufferSpec, ContractionPath, IndexId, Kernel, LoopForest, LoopNode,
@@ -482,6 +483,23 @@ pub fn execute_forest_into(
     ws: &mut Workspace,
     out: OutputMut<'_>,
 ) -> Result<()> {
+    execute_forest_into_guarded(kernel, path, forest, csf, factors_by_slot, ws, out, None)
+}
+
+/// [`execute_forest_into`] with a cancellation/deadline guard, checked
+/// once up front and then at every root-loop iteration, so cancellation
+/// latency is bounded by one root subtree.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_forest_into_guarded(
+    kernel: &Kernel,
+    path: &ContractionPath,
+    forest: &LoopForest,
+    csf: &Csf,
+    factors_by_slot: &[DenseTensor],
+    ws: &mut Workspace,
+    out: OutputMut<'_>,
+    guard: Option<&RunGuard>,
+) -> Result<()> {
     execute_slots(
         kernel,
         path,
@@ -493,6 +511,7 @@ pub fn execute_forest_into(
         Slots::Owned(factors_by_slot),
         ws,
         out,
+        guard,
     )
 }
 
@@ -520,6 +539,33 @@ pub fn execute_forest_tile_into(
     ws: &mut Workspace,
     out: OutputMut<'_>,
 ) -> Result<()> {
+    execute_forest_tile_into_guarded(
+        kernel,
+        path,
+        forest,
+        csf,
+        tile,
+        factors_by_slot,
+        ws,
+        out,
+        None,
+    )
+}
+
+/// [`execute_forest_tile_into`] with a cancellation/deadline guard (see
+/// [`execute_forest_into_guarded`] for the checkpoint cadence).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_forest_tile_into_guarded(
+    kernel: &Kernel,
+    path: &ContractionPath,
+    forest: &LoopForest,
+    csf: &Csf,
+    tile: &CsfTile,
+    factors_by_slot: &[DenseTensor],
+    ws: &mut Workspace,
+    out: OutputMut<'_>,
+    guard: Option<&RunGuard>,
+) -> Result<()> {
     if tile.depth() != csf.order().max(1) {
         return Err(SpttnError::Execution(format!(
             "tile spans {} levels but the CSF has {} (tile built for a different tensor?)",
@@ -538,6 +584,7 @@ pub fn execute_forest_tile_into(
         Slots::Owned(factors_by_slot),
         ws,
         out,
+        guard,
     )
 }
 
@@ -598,6 +645,7 @@ pub(crate) fn execute_slots(
     slots: Slots<'_>,
     ws: &mut Workspace,
     out: OutputMut<'_>,
+    guard: Option<&RunGuard>,
 ) -> Result<()> {
     validate_slots(kernel, csf, slots)?;
     validate_output(kernel, &out, leaf_len)?;
@@ -640,6 +688,8 @@ pub(crate) fn execute_slots(
         stats,
         node_searches: std::cell::Cell::new(0),
         search_probes: std::cell::Cell::new(0),
+        // A no-op guard costs a branch per root iteration; skip it.
+        guard: guard.filter(|g| !g.is_noop()),
     };
     let res = exec.run();
     exec.stats.node_searches += exec.node_searches.get();
@@ -693,6 +743,7 @@ pub fn execute_forest(
             Slots::Refs(&refs),
             &mut ws,
             OutputMut::Sparse(&mut vals),
+            None,
         )?;
         Ok(ContractionOutput::Sparse(csf.to_coo().with_vals(vals)))
     } else {
@@ -708,6 +759,7 @@ pub fn execute_forest(
             Slots::Refs(&refs),
             &mut ws,
             OutputMut::Dense(&mut out),
+            None,
         )?;
         Ok(ContractionOutput::Dense(out))
     }
@@ -793,6 +845,9 @@ struct Exec<'a> {
     /// under shared borrows; folded into `stats` after the run.
     node_searches: std::cell::Cell<u64>,
     search_probes: std::cell::Cell<u64>,
+    /// Cancellation/deadline checkpoints, consulted at root-loop
+    /// iterations only (`None` disables checking entirely).
+    guard: Option<&'a RunGuard>,
 }
 
 /// Binary search for `target` in a sorted, duplicate-free slice,
@@ -814,8 +869,11 @@ fn binary_search_counting(idx: &[usize], target: usize, probes: &mut u64) -> Opt
 
 impl<'a> Exec<'a> {
     fn run(&mut self) -> Result<()> {
+        if let Some(g) = self.guard {
+            g.check("interp")?;
+        }
         let roots = &self.forest.roots;
-        self.exec_siblings(roots, self.path.len())
+        self.exec_siblings(roots, self.path.len(), true)
     }
 
     /// Term range covered by a node.
@@ -830,7 +888,7 @@ impl<'a> Exec<'a> {
     /// `parent_hi`, zeroing each buffer at its split point: a buffer
     /// splits here when its producer is inside a child and its consumer
     /// is a later sibling (Eq. 5's common-ancestor rule).
-    fn exec_siblings(&mut self, nodes: &[LoopNode], parent_hi: usize) -> Result<()> {
+    fn exec_siblings(&mut self, nodes: &[LoopNode], parent_hi: usize, at_root: bool) -> Result<()> {
         for n in nodes {
             let (lo, hi) = Self::node_range(n);
             for t in lo..hi {
@@ -840,12 +898,12 @@ impl<'a> Exec<'a> {
                     }
                 }
             }
-            self.exec_node(n)?;
+            self.exec_node(n, at_root)?;
         }
         Ok(())
     }
 
-    fn exec_node(&mut self, n: &LoopNode) -> Result<()> {
+    fn exec_node(&mut self, n: &LoopNode, at_root: bool) -> Result<()> {
         match n {
             LoopNode::Leaf(t) => {
                 let term = &self.path.terms[*t];
@@ -854,19 +912,26 @@ impl<'a> Exec<'a> {
                 self.accumulate_cell(*t, l * r);
                 Ok(())
             }
-            LoopNode::Loop(v) => self.exec_loop(v),
+            LoopNode::Loop(v) => self.exec_loop(v, at_root),
         }
     }
 
-    fn exec_loop(&mut self, v: &LoopVertex) -> Result<()> {
+    fn exec_loop(&mut self, v: &LoopVertex, at_root: bool) -> Result<()> {
         if self.try_blas(v)? {
             return Ok(());
         }
         match v.kind {
             VertexKind::Dense => {
                 for x in 0..self.kernel.dim(v.index) {
+                    // Root-loop iteration = the cancellation checkpoint:
+                    // once per root subtree, never on inner loops.
+                    if at_root {
+                        if let Some(g) = self.guard {
+                            g.check("interp")?;
+                        }
+                    }
                     self.coords[v.index] = x;
-                    self.exec_siblings(&v.children, v.term_hi)?;
+                    self.exec_siblings(&v.children, v.term_hi, false)?;
                 }
             }
             VertexKind::Sparse { level } => {
@@ -876,9 +941,14 @@ impl<'a> Exec<'a> {
                     return Ok(());
                 };
                 for node in range {
+                    if at_root {
+                        if let Some(g) = self.guard {
+                            g.check("interp")?;
+                        }
+                    }
                     self.coords[v.index] = self.csf.node_coord(level, node);
                     self.nodes[level] = Some(node);
-                    self.exec_siblings(&v.children, v.term_hi)?;
+                    self.exec_siblings(&v.children, v.term_hi, false)?;
                 }
                 self.nodes[level] = None;
             }

@@ -45,6 +45,14 @@
 //! recorded in the tape as function pointers, plus the fused
 //! `ZeroAccum` superinstructions and rank-specialized kernel variants
 //! the tape compiler emits under [`Microkernels::Auto`].
+//!
+//! The [`guard`] module hardens all of this for long-lived services:
+//! a [`CancelToken`]/[`RunGuard`] pair gives every engine cooperative
+//! cancellation and deadlines with checkpoints at root-iteration
+//! boundaries, the worker pool isolates panicking jobs behind
+//! `catch_unwind` and respawns dead workers, and [`faults`] injects
+//! deterministic worker panics and thread deaths so the recovery paths
+//! stay tested.
 
 // Unsafe code in the workspace lives in [`parallel`] (scoped-thread
 // lifetime erasure) and [`simd`] (vendor SIMD intrinsics behind
@@ -54,18 +62,25 @@
 #![cfg_attr(feature = "portable-simd", feature(portable_simd))]
 
 pub mod blas;
+pub mod faults;
+pub mod guard;
 pub mod interp;
 pub mod parallel;
 pub mod reference;
 pub mod simd;
 pub mod tape;
 
+pub use guard::{CancelToken, RunGuard};
 pub use interp::{
-    execute_forest, execute_forest_into, execute_forest_tile_into, validate_operands,
-    validate_slotted_operands, ContractionOutput, ExecStats, OutputMut, Workspace,
+    execute_forest, execute_forest_into, execute_forest_into_guarded, execute_forest_tile_into,
+    execute_forest_tile_into_guarded, validate_operands, validate_slotted_operands,
+    ContractionOutput, ExecStats, OutputMut, Workspace,
 };
 pub use parallel::{execute_forest_parallel, tree_reduce_partials, ParallelExecutor};
 pub use reference::naive_einsum;
 pub use simd::{detected_cpu_features, KernelSel, KernelSet, Microkernels, RankSpec};
 pub use tape::verify::{TapeInvariantError, TapeReport};
-pub use tape::{execute_tape, execute_tape_into, execute_tape_tile_into, CompiledTape, TapeState};
+pub use tape::{
+    execute_tape, execute_tape_into, execute_tape_into_guarded, execute_tape_tile_into,
+    execute_tape_tile_into_guarded, CompiledTape, TapeState,
+};

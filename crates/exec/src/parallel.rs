@@ -24,16 +24,29 @@
 //! sparse outputs (TTTP-like) need no reduction at all: tiles write
 //! disjoint leaf ranges of the value array.
 
+use crate::faults;
+use crate::guard::RunGuard;
 use crate::interp::{
-    execute_forest_tile_into, execute_slots, validate_operands, validate_output, ContractionOutput,
-    ExecStats, OutputMut, Slots, Workspace,
+    execute_forest_tile_into_guarded, execute_slots, validate_operands, validate_output,
+    ContractionOutput, ExecStats, OutputMut, Slots, Workspace,
 };
-use crate::tape::{execute_tape_tile_into, CompiledTape};
+use crate::tape::{execute_tape_tile_into_guarded, CompiledTape};
 use spttn_core::{Result, SpttnError};
 use spttn_ir::{BufferSpec, ContractionPath, Kernel, LoopForest};
 use spttn_tensor::{Csf, CsfTile, DenseTensor};
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Best-effort text of a panic payload, for [`SpttnError::WorkerPanic`].
+fn panic_payload(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Deterministic pairwise tree reduction of per-tile partial outputs.
 ///
@@ -118,9 +131,14 @@ pub fn execute_forest_parallel(
             partials.iter_mut().map(OutputMut::Dense).collect()
         })?;
         tree_reduce_partials(&mut partials);
-        Ok(ContractionOutput::Dense(
-            partials.into_iter().next().expect("at least one tile"),
-        ))
+        // SAFETY-style invariant: `Csf::partition(n.max(1))` always
+        // yields at least one tile, so `partials` is never empty.
+        debug_assert!(!partials.is_empty(), "partition yields >= 1 tile");
+        partials
+            .into_iter()
+            .next()
+            .map(ContractionOutput::Dense)
+            .ok_or_else(|| SpttnError::Execution("partition produced no tiles".into()))
     }
 }
 
@@ -153,12 +171,22 @@ fn run_scoped(
                     Slots::Refs(refs),
                     ws,
                     out,
+                    None,
                 )
             }));
         }
         handles
             .into_iter()
-            .map(|h| h.join().unwrap_or_else(|p| resume_unwind(p)))
+            .enumerate()
+            .map(|(tile, h)| match h.join() {
+                Ok(r) => r,
+                // A panicked tile fails only this execution, with the
+                // same typed error the persistent pool produces.
+                Err(p) => Err(SpttnError::WorkerPanic {
+                    worker: tile,
+                    payload: panic_payload(p.as_ref()),
+                }),
+            })
             .collect()
     });
     results.into_iter().collect()
@@ -196,13 +224,17 @@ struct Job {
     factors_len: usize,
     ws: *mut Workspace,
     out: JobOut,
+    /// Cancellation/deadline guard shared by every tile of one
+    /// execution; null means unguarded.
+    guard: *const RunGuard,
 }
 
 // SAFETY: jobs are only created by `ParallelExecutor::execute_into`,
 // which blocks on `WorkerPool::wait_all` before returning, so every
-// pointer outlives the job; the `*mut` targets (workspace, partial,
-// sparse chunk) are each referenced by exactly one job, and the shared
-// `*const` targets are `Sync` plain data.
+// pointer outlives the job; each `*mut` target (workspace, partial,
+// sparse chunk) belongs to exactly one job, and the shared `*const`
+// targets (incl. the guard — `RunGuard: Sync`, its only interior
+// mutability an atomic flag) are safe to read from every worker.
 unsafe impl Send for Job {}
 
 fn run_job(job: Job) -> Result<()> {
@@ -217,9 +249,14 @@ fn run_job(job: Job) -> Result<()> {
         let tile = &*job.tile;
         let factors = std::slice::from_raw_parts(job.factors, job.factors_len);
         let ws = &mut *job.ws;
+        let guard: Option<&RunGuard> = job.guard.as_ref();
         let run = |ws: &mut Workspace, out: OutputMut<'_>| match tape {
-            Some(t) => execute_tape_tile_into(t, kernel, csf, tile, factors, ws, out),
-            None => execute_forest_tile_into(kernel, path, forest, csf, tile, factors, ws, out),
+            Some(t) => {
+                execute_tape_tile_into_guarded(t, kernel, csf, tile, factors, ws, out, guard)
+            }
+            None => execute_forest_tile_into_guarded(
+                kernel, path, forest, csf, tile, factors, ws, out, guard,
+            ),
         };
         match job.out {
             JobOut::Dense(p) => {
@@ -244,11 +281,27 @@ struct WorkerState {
     /// Outcome of the most recent job.
     result: Result<()>,
     shutdown: bool,
+    /// Set by a worker about to exit its thread (under the same lock
+    /// that publishes its final result), so `respawn_dead` observes the
+    /// death deterministically — `JoinHandle::is_finished` alone races
+    /// with the OS-level thread teardown.
+    dead: bool,
 }
 
 struct WorkerShared {
     state: Mutex<WorkerState>,
     cv: Condvar,
+}
+
+/// Lock a worker slot, shedding mutex poisoning instead of panicking.
+///
+/// SAFETY-style invariant: the slot holds plain data (an `Option<Job>`
+/// of `Copy` pointers plus counters), and every critical section is a
+/// handful of field assignments — no invariant can be left half-updated
+/// by an unwinding holder. Discarding the poison flag is exactly what
+/// keeps one panicking execution from bricking the pool for the next.
+fn lock_worker(sh: &WorkerShared) -> MutexGuard<'_, WorkerState> {
+    sh.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A fixed set of persistent worker threads, one job slot each.
@@ -266,7 +319,7 @@ impl WorkerPool {
     fn new(n_workers: usize) -> WorkerPool {
         let mut shared = Vec::with_capacity(n_workers);
         let mut handles = Vec::with_capacity(n_workers);
-        for _ in 0..n_workers {
+        for slot in 0..n_workers {
             let sh = Arc::new(WorkerShared {
                 state: Mutex::new(WorkerState {
                     job: None,
@@ -274,25 +327,62 @@ impl WorkerPool {
                     finished: 0,
                     result: Ok(()),
                     shutdown: false,
+                    dead: false,
                 }),
                 cv: Condvar::new(),
             });
-            let worker_sh = Arc::clone(&sh);
-            handles.push(std::thread::spawn(move || worker_loop(&worker_sh)));
+            handles.push(Self::spawn_worker(&sh, slot));
             shared.push(sh);
         }
         WorkerPool { shared, handles }
+    }
+
+    fn spawn_worker(sh: &Arc<WorkerShared>, slot: usize) -> std::thread::JoinHandle<()> {
+        let worker_sh = Arc::clone(sh);
+        std::thread::spawn(move || worker_loop(&worker_sh, slot))
     }
 
     fn len(&self) -> usize {
         self.shared.len()
     }
 
+    /// Replace workers whose threads have exited (an injected thread
+    /// death, or a real one via an abort-on-unwind payload that escaped
+    /// `catch_unwind`). The slot state is reset to idle before the new
+    /// thread starts, so a stale result can never leak into the next
+    /// execution. Returns the number of workers replaced.
+    fn respawn_dead(&mut self) -> usize {
+        let mut replaced = 0usize;
+        for (slot, h) in self.handles.iter_mut().enumerate() {
+            let sh = &self.shared[slot];
+            // `dead` is published under the slot lock before the thread
+            // exits, so a just-died worker is seen even while the OS is
+            // still tearing its thread down; `is_finished` covers any
+            // exit path that never reached the flag.
+            if !lock_worker(sh).dead && !h.is_finished() {
+                continue;
+            }
+            {
+                let mut st = lock_worker(sh);
+                st.job = None;
+                st.finished = st.submitted;
+                st.result = Ok(());
+                st.shutdown = false;
+                st.dead = false;
+            }
+            let fresh = Self::spawn_worker(sh, slot);
+            let dead = std::mem::replace(h, fresh);
+            let _ = dead.join();
+            replaced += 1;
+        }
+        replaced
+    }
+
     /// Hand a job to an idle worker. Debug-asserts idleness: the
     /// executor submits exactly one job per worker per execution.
     fn submit(&self, worker: usize, job: Job) {
         let sh = &self.shared[worker];
-        let mut st = sh.state.lock().expect("worker lock");
+        let mut st = lock_worker(sh);
         debug_assert!(
             st.job.is_none() && st.finished == st.submitted,
             "worker {worker} still busy"
@@ -307,9 +397,9 @@ impl WorkerPool {
     fn wait_all(&self) -> Result<()> {
         let mut first_err: Option<SpttnError> = None;
         for sh in &self.shared {
-            let mut st = sh.state.lock().expect("worker lock");
+            let mut st = lock_worker(sh);
             while st.finished != st.submitted {
-                st = sh.cv.wait(st).expect("worker lock");
+                st = sh.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
             if first_err.is_none() {
                 if let Err(e) = std::mem::replace(&mut st.result, Ok(())) {
@@ -327,7 +417,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         for sh in &self.shared {
-            sh.state.lock().expect("worker lock").shutdown = true;
+            lock_worker(sh).shutdown = true;
             sh.cv.notify_all();
         }
         for h in self.handles.drain(..) {
@@ -336,10 +426,13 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(shared: &WorkerShared) {
+fn worker_loop(shared: &WorkerShared, slot: usize) {
+    // Errors report the *tile* index; pool slot `s` runs tile `s + 1`
+    // (tile 0 stays on the calling thread).
+    let tile_id = slot + 1;
     loop {
         let job = {
-            let mut st = shared.state.lock().expect("worker lock");
+            let mut st = lock_worker(shared);
             loop {
                 if st.shutdown {
                     return;
@@ -347,21 +440,42 @@ fn worker_loop(shared: &WorkerShared) {
                 if let Some(j) = st.job.take() {
                     break j;
                 }
-                st = shared.cv.wait(st).expect("worker lock");
+                st = shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
         };
-        // A panic inside the interpreter must not kill the worker (the
+        // Deterministic fault injection (tests/faults.rs). `die` also
+        // exits this thread after reporting, exercising `respawn_dead`.
+        let die = faults::claim_worker_fault(slot);
+        // A panic inside the engines must not kill the worker (the
         // submitter would deadlock waiting for `finished`); surface it
-        // as an execution error instead.
-        let res = catch_unwind(AssertUnwindSafe(|| run_job(job))).unwrap_or_else(|_| {
-            Err(SpttnError::Execution(
-                "worker thread panicked during parallel execution".into(),
-            ))
+        // as a structured `WorkerPanic` that fails only this execution.
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            if die.is_some() {
+                panic!("injected fault: worker panic");
+            }
+            run_job(job)
+        }))
+        .unwrap_or_else(|p| {
+            Err(SpttnError::WorkerPanic {
+                worker: tile_id,
+                payload: panic_payload(p.as_ref()),
+            })
         });
-        let mut st = shared.state.lock().expect("worker lock");
+        let mut st = lock_worker(shared);
         st.result = res;
         st.finished = st.submitted;
+        if die == Some(true) {
+            // Simulated thread death: publish the death under the same
+            // lock as the result, so the submitter is never left
+            // waiting and the next execution's `respawn_dead` cannot
+            // miss the still-tearing-down thread.
+            st.dead = true;
+        }
         shared.cv.notify_all();
+        drop(st);
+        if die == Some(true) {
+            return;
+        }
     }
 }
 
@@ -497,6 +611,28 @@ impl ParallelExecutor {
         factors_by_slot: &[DenseTensor],
         out: OutputMut<'_>,
     ) -> Result<()> {
+        self.execute_into_guarded(kernel, path, forest, csf, factors_by_slot, out, None)
+    }
+
+    /// [`ParallelExecutor::execute_into`] with a cancellation/deadline
+    /// guard shared by every tile: each worker checks it at its own
+    /// root-iteration boundaries, so the whole fan-out stops within one
+    /// root subtree per thread.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_into_guarded(
+        &mut self,
+        kernel: &Kernel,
+        path: &ContractionPath,
+        forest: &LoopForest,
+        csf: &Csf,
+        factors_by_slot: &[DenseTensor],
+        out: OutputMut<'_>,
+        guard: Option<&RunGuard>,
+    ) -> Result<()> {
+        // Replace any workers that died since the last execution (a
+        // no-op — `JoinHandle::is_finished` per worker — on the healthy
+        // path, so the zero-allocation contract holds there).
+        self.pool.respawn_dead();
         if csf.order() != self.level_nnz.len()
             || (0..csf.order()).any(|k| csf.level_nnz(k) != self.level_nnz[k])
         {
@@ -525,6 +661,7 @@ impl ParallelExecutor {
             factors_len: factors_by_slot.len(),
             ws: std::ptr::null_mut(),
             out: JobOut::Sparse(std::ptr::null_mut(), 0),
+            guard: guard.map_or(std::ptr::null(), |g| g as *const RunGuard),
         };
         match out {
             OutputMut::Dense(d) => {
@@ -596,13 +733,23 @@ impl ParallelExecutor {
 
 /// Run tile 0's job on the calling thread, panic-safely: a panic here
 /// must still wait for the in-flight workers (whose jobs point into the
-/// executor's buffers) before unwinding.
+/// executor's buffers) before control leaves the executor, and then
+/// surfaces as a structured [`SpttnError::WorkerPanic`] (worker 0 = the
+/// calling thread) instead of unwinding through the caller.
 fn run_tile0(pool: &WorkerPool, job: Job) -> Result<()> {
-    match catch_unwind(AssertUnwindSafe(|| run_job(job))) {
+    match catch_unwind(AssertUnwindSafe(|| {
+        if faults::claim_tile0_fault() {
+            panic!("injected fault: tile-0 panic");
+        }
+        run_job(job)
+    })) {
         Ok(r) => r,
         Err(p) => {
             let _ = pool.wait_all();
-            resume_unwind(p)
+            Err(SpttnError::WorkerPanic {
+                worker: 0,
+                payload: panic_payload(p.as_ref()),
+            })
         }
     }
 }

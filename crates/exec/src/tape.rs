@@ -77,6 +77,7 @@
 //! stats are plain per-workspace `u64`s folded into the global
 //! [`crate::interp::stats`] shim once per run.
 
+use crate::guard::RunGuard;
 use crate::interp::{
     forest_stamp, stats, validate_operands, validate_output, validate_slots, ContractionOutput,
     ExecStats, OutputMut, Slots, Workspace,
@@ -1647,6 +1648,22 @@ pub fn execute_tape_into(
     ws: &mut Workspace,
     out: OutputMut<'_>,
 ) -> Result<()> {
+    execute_tape_into_guarded(tape, kernel, csf, factors_by_slot, ws, out, None)
+}
+
+/// [`execute_tape_into`] with a cancellation/deadline guard, checked
+/// once before the run and then at every root-frame advance — so
+/// cancellation latency is bounded by one root subtree.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_tape_into_guarded(
+    tape: &CompiledTape,
+    kernel: &Kernel,
+    csf: &Csf,
+    factors_by_slot: &[DenseTensor],
+    ws: &mut Workspace,
+    out: OutputMut<'_>,
+    guard: Option<&RunGuard>,
+) -> Result<()> {
     run_tape(
         tape,
         kernel,
@@ -1657,6 +1674,7 @@ pub fn execute_tape_into(
         Slots::Owned(factors_by_slot),
         ws,
         out,
+        guard,
     )
 }
 
@@ -1677,6 +1695,22 @@ pub fn execute_tape_tile_into(
     ws: &mut Workspace,
     out: OutputMut<'_>,
 ) -> Result<()> {
+    execute_tape_tile_into_guarded(tape, kernel, csf, tile, factors_by_slot, ws, out, None)
+}
+
+/// [`execute_tape_tile_into`] with a cancellation/deadline guard (see
+/// [`execute_tape_into_guarded`] for the checkpoint cadence).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_tape_tile_into_guarded(
+    tape: &CompiledTape,
+    kernel: &Kernel,
+    csf: &Csf,
+    tile: &CsfTile,
+    factors_by_slot: &[DenseTensor],
+    ws: &mut Workspace,
+    out: OutputMut<'_>,
+    guard: Option<&RunGuard>,
+) -> Result<()> {
     if tile.depth() != csf.order().max(1) {
         return Err(SpttnError::Execution(format!(
             "tile spans {} levels but the CSF has {} (tile built for a different tensor?)",
@@ -1694,6 +1728,7 @@ pub fn execute_tape_tile_into(
         Slots::Owned(factors_by_slot),
         ws,
         out,
+        guard,
     )
 }
 
@@ -1733,6 +1768,7 @@ pub fn execute_tape(
             Slots::Refs(&refs),
             &mut ws,
             OutputMut::Sparse(&mut vals),
+            None,
         )?;
         Ok(ContractionOutput::Sparse(csf.to_coo().with_vals(vals)))
     } else {
@@ -1747,6 +1783,7 @@ pub fn execute_tape(
             Slots::Refs(&refs),
             &mut ws,
             OutputMut::Dense(&mut out),
+            None,
         )?;
         Ok(ContractionOutput::Dense(out))
     }
@@ -1763,6 +1800,7 @@ pub(crate) fn run_tape(
     factors: Slots<'_>,
     ws: &mut Workspace,
     out: OutputMut<'_>,
+    guard: Option<&RunGuard>,
 ) -> Result<()> {
     validate_slots(kernel, csf, factors)?;
     validate_output(kernel, &out, leaf_len)?;
@@ -1806,8 +1844,11 @@ pub(crate) fn run_tape(
         out_sparse,
         st,
         stats: run_stats,
+        // A no-op guard costs a branch per root-frame advance; skip
+        // even that for ungated runs.
+        guard: guard.filter(|g| !g.is_noop()),
     };
-    run.go();
+    run.go()?;
     stats::fold(&ws.stats());
     Ok(())
 }
@@ -1823,6 +1864,7 @@ struct Run<'a> {
     out_sparse: &'a mut [f64],
     st: &'a mut TapeState,
     stats: &'a mut ExecStats,
+    guard: Option<&'a RunGuard>,
 }
 
 /// Search `idx[from..hi]` (sorted, duplicate-free) for `target` by
@@ -1871,9 +1913,12 @@ fn gallop(
 }
 
 impl<'a> Run<'a> {
-    fn go(&mut self) {
+    fn go(&mut self) -> Result<()> {
         let instrs = &self.tape.instrs;
         let mut pc = 0usize;
+        if let Some(g) = self.guard {
+            g.check("tape")?;
+        }
         while pc < instrs.len() {
             match instrs[pc] {
                 Instr::Zero { term } => {
@@ -1938,6 +1983,13 @@ impl<'a> Run<'a> {
                         } => {
                             let x = f.pos + 1;
                             if x < dim {
+                                // Root-frame advance = once per root
+                                // subtree: the cancellation checkpoint.
+                                if fi == 0 {
+                                    if let Some(g) = self.guard {
+                                        g.check("tape")?;
+                                    }
+                                }
                                 self.st.frames[fi].pos = x;
                                 self.st.coords[index] = x;
                                 self.advance(adv, 1);
@@ -1959,6 +2011,11 @@ impl<'a> Run<'a> {
                         } => {
                             let node = f.pos + 1;
                             if node < f.end {
+                                if fi == 0 {
+                                    if let Some(g) = self.guard {
+                                        g.check("tape")?;
+                                    }
+                                }
                                 let coord = self.csf.node_coord(level, node);
                                 self.st.nodes[level] = node;
                                 self.st.coords[index] = coord;
@@ -2145,6 +2202,7 @@ impl<'a> Run<'a> {
             }
         }
         debug_assert_eq!(self.st.fp, 0, "all loops exited");
+        Ok(())
     }
 
     #[inline]

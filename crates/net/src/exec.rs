@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use spttn::tensor::{Csf, DenseTensor};
-use spttn::{ContractionOutput, ExecStats, Executor, Result, SpttnError};
+use spttn::{ContractionOutput, ExecStats, Executor, Result, RunGuard, SpttnError};
 
 use crate::plan::{CollapsedInput, DenseStep, LoopDim, NetworkPlan, StepSrc, WorkspacePool};
 
@@ -39,6 +39,12 @@ pub struct NetworkExecutor {
     routes: HashMap<String, Route>,
     pool: Option<Arc<WorkspacePool>>,
     dense_flops: u128,
+    /// True while an execution is in flight (set on entry, cleared on
+    /// success): an early exit — error or cancellation — leaves the
+    /// intermediates partially written, and [`Drop`] must scrub them
+    /// before any pool checkin so a later checkout never receives a
+    /// half-computed workspace as clean.
+    dirty: bool,
 }
 
 impl NetworkExecutor {
@@ -78,11 +84,61 @@ impl NetworkExecutor {
             routes.entry(r.name.clone()).or_default();
         }
 
-        let dense_inputs: Vec<DenseTensor> = plan
-            .step_users
+        // Bind-time admission of the network-wide budget (carried by
+        // the collapsed kernel's `ExecOptions`). Flops are the dense
+        // steps plus the kernel's modeled count; workspace bytes are
+        // the intermediates plus the kernel's serial one-thread floor
+        // (the inner `Plan::bind` degrades its own thread count below
+        // that bound). Both gates run before any workspace is checked
+        // out of the pool, so a rejected bind touches nothing.
+        let opts = plan.plan.exec();
+        let dense_flops = plan
+            .steps
             .iter()
-            .map(|(name, _)| (*fmap.get(name.as_str()).expect("validated above")).clone())
-            .collect();
+            .map(|s| s.flops)
+            .fold(0u128, u128::saturating_add);
+        if let Some(max) = opts.budget.max_modeled_flops {
+            let predicted = dense_flops.saturating_add(plan.plan.flops);
+            if predicted > max {
+                return Err(SpttnError::BudgetExceeded {
+                    resource: "modeled flops",
+                    predicted,
+                    allowed: max,
+                });
+            }
+        }
+        if let Some(max) = opts.budget.max_workspace_bytes {
+            let inter_bytes: u128 = plan
+                .inter_dims
+                .iter()
+                .map(|d| {
+                    d.iter()
+                        .map(|&x| x as u128)
+                        .product::<u128>()
+                        .saturating_mul(8)
+                })
+                .fold(0, u128::saturating_add);
+            let predicted =
+                inter_bytes.saturating_add(plan.plan.parallel_footprint(1).saturating_mul(8));
+            if predicted > u128::from(max) {
+                return Err(SpttnError::BudgetExceeded {
+                    resource: "workspace bytes",
+                    predicted,
+                    allowed: u128::from(max),
+                });
+            }
+        }
+
+        // Dense-step-only factors never reach the collapsed kernel, so
+        // the input-slot validation above does not cover them — resolve
+        // with a typed error, not an assumption.
+        let mut dense_inputs: Vec<DenseTensor> = Vec::with_capacity(plan.step_users.len());
+        for (name, _) in &plan.step_users {
+            let t = fmap.get(name.as_str()).ok_or_else(|| {
+                SpttnError::Execution(format!("network factor '{name}' was not supplied at bind"))
+            })?;
+            dense_inputs.push((*t).clone());
+        }
         for (k, (name, _)) in plan.step_users.iter().enumerate() {
             routes.entry(name.clone()).or_default().dense.push(k);
         }
@@ -113,11 +169,6 @@ impl NetworkExecutor {
             }
         }
         let exec = plan.plan.bind(csf, &refs)?;
-        let dense_flops = plan
-            .steps
-            .iter()
-            .map(|s| s.flops)
-            .fold(0, u128::saturating_add);
         Ok(NetworkExecutor {
             exec,
             steps: plan.steps.clone(),
@@ -127,14 +178,29 @@ impl NetworkExecutor {
             routes,
             pool,
             dense_flops,
+            dirty: false,
         })
     }
 
     /// Run the full network into a caller-owned output (start from
     /// [`NetworkExecutor::output_template`]). Allocation-free after the
     /// first call.
+    ///
+    /// A cancel token or deadline on the collapsed kernel's
+    /// [`spttn::ExecOptions`] guards the whole network run: the shared
+    /// deadline clock starts here, execution checks it before every
+    /// dense step and at the kernel's root-subtree boundaries, and an
+    /// expiry returns [`SpttnError::Cancelled`] with phase `"network"`
+    /// (between steps) or the kernel's own phase. On any early exit the
+    /// intermediates are marked dirty and scrubbed before pool checkin.
     pub fn execute_into(&mut self, out: &mut ContractionOutput) -> Result<()> {
+        let opts = self.exec.plan().exec();
+        // One guard for the whole network execution: the kernel run at
+        // the end shares the same deadline instant as the dense steps.
+        let guard = RunGuard::new(opts.cancel, opts.deadline);
+        self.dirty = true;
         for step in &self.steps {
+            guard.check("network")?;
             // Split the output workspace out of `inters` so the borrows
             // of an `Inter` operand and the output never alias: a
             // step's operands occupy strictly earlier slots (postorder
@@ -152,10 +218,13 @@ impl NetworkExecutor {
             };
             run_loops(&step.loops, l, r, dst, 0, 0, 0);
         }
+        guard.check("network")?;
         for (slot, name) in &self.feeds {
             self.exec.set_factor(name, &self.inters[*slot])?;
         }
-        self.exec.execute_into(out)
+        self.exec.execute_into_guarded(out, Some(&guard))?;
+        self.dirty = false;
+        Ok(())
     }
 
     /// Convenience wrapper: allocate a fresh output and execute.
@@ -232,7 +301,16 @@ impl NetworkExecutor {
 impl Drop for NetworkExecutor {
     fn drop(&mut self) {
         if let Some(pool) = self.pool.take() {
-            pool.checkin(std::mem::take(&mut self.inters));
+            let mut set = std::mem::take(&mut self.inters);
+            // An execution that erred or was cancelled left these
+            // partially written; zero them so the pool never hands a
+            // half-computed workspace to the next checkout as clean.
+            if self.dirty {
+                for t in &mut set {
+                    t.fill_zero();
+                }
+            }
+            pool.checkin(set);
         }
     }
 }

@@ -12,7 +12,7 @@
 //! intermediates.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use spttn::ir::{ContractionPath, IndexId, Kernel, KernelBuilder, Operand};
 use spttn::tensor::{Csf, DenseTensor};
@@ -432,10 +432,18 @@ pub struct WorkspacePool {
 }
 
 impl WorkspacePool {
+    /// Lock the free list, recovering from poisoning: the list holds
+    /// only complete workspace sets (push/pop are atomic with respect
+    /// to the lock), so a thread that panicked while holding it cannot
+    /// have left a half-updated invariant behind.
+    fn free_list(&self) -> MutexGuard<'_, Vec<Vec<DenseTensor>>> {
+        self.free.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Check a full workspace set out of the pool, allocating fresh
     /// tensors only when the free list is empty.
     pub fn checkout(&self) -> Vec<DenseTensor> {
-        if let Some(set) = self.free.lock().expect("pool lock").pop() {
+        if let Some(set) = self.free_list().pop() {
             self.reused.fetch_add(1, Ordering::Relaxed);
             return set;
         }
@@ -449,7 +457,7 @@ impl WorkspacePool {
         let matches = set.len() == self.dims.len()
             && set.iter().zip(&self.dims).all(|(t, d)| t.dims() == &d[..]);
         if matches {
-            self.free.lock().expect("pool lock").push(set);
+            self.free_list().push(set);
         }
     }
 
@@ -465,7 +473,7 @@ impl WorkspacePool {
 
     /// Sets currently available for checkout.
     pub fn available(&self) -> usize {
-        self.free.lock().expect("pool lock").len()
+        self.free_list().len()
     }
 }
 

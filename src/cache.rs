@@ -245,7 +245,7 @@ impl PlanCache {
             if plan.exec() == opts.exec {
                 plan
             } else {
-                Arc::new((*plan).clone().with_exec(opts.exec))
+                Arc::new((*plan).clone().with_exec(opts.exec.clone()))
             }
         })
     }

@@ -38,7 +38,7 @@ use spttn_cost::{
     candidate_orders, plan_mode_orders, BlasAware, CacheMiss, MaxBufferDim, MaxBufferSize,
     ModeOrderPolicy, OrderCost, OrderSearch, TreeCost,
 };
-use spttn_exec::Microkernels;
+use spttn_exec::{CancelToken, Microkernels};
 use spttn_ir::{
     buffers_for_forest, build_forest, BufferSpec, ContractionPath, Kernel, KernelBuilder,
     KernelError, LoopForest, NestSpec,
@@ -47,6 +47,7 @@ use spttn_tensor::{CooTensor, Csf, DenseTensor, SparsityProfile};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Cost model driving the planner (paper Defs. 4.5, 4.6 and Sec. 5).
 ///
@@ -117,6 +118,52 @@ pub enum Engine {
     Interp,
 }
 
+/// Resource budget evaluated at [`Plan::bind`] (and
+/// `NetworkPlan::bind` in `spttn-net`) **before** any workspace is
+/// allocated — the admission-control half of the hardened runtime.
+///
+/// Both limits are modeled quantities from the paper's Sec.-5 cost
+/// pipeline, so rejection is predictable and allocation-free:
+/// `max_workspace_bytes` bounds the Eq.-5 intermediate-buffer
+/// footprint replicated per worker thread
+/// ([`Plan::parallel_footprint`] × 8 bytes; network binds add their
+/// materialized intermediates), and `max_modeled_flops` bounds the
+/// plan's modeled operation count. Workspace pressure degrades
+/// gracefully — the bind drops to the largest thread count (and hence
+/// tile count) that fits, down to the serial path — before a typed
+/// [`crate::SpttnError::BudgetExceeded`] reports predicted vs allowed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RunBudget {
+    /// Maximum preallocated workspace, in bytes. `None` = unlimited.
+    pub max_workspace_bytes: Option<u64>,
+    /// Maximum modeled flops per execution. `None` = unlimited.
+    pub max_modeled_flops: Option<u128>,
+}
+
+impl RunBudget {
+    /// No limits (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Cap the preallocated workspace footprint (builder style).
+    pub fn with_max_workspace_bytes(mut self, bytes: u64) -> Self {
+        self.max_workspace_bytes = Some(bytes);
+        self
+    }
+
+    /// Cap the modeled flops per execution (builder style).
+    pub fn with_max_modeled_flops(mut self, flops: u128) -> Self {
+        self.max_modeled_flops = Some(flops);
+        self
+    }
+
+    /// Whether any limit is set.
+    pub fn is_limited(&self) -> bool {
+        self.max_workspace_bytes.is_some() || self.max_modeled_flops.is_some()
+    }
+}
+
 /// Execution-stage options, carried by a [`Plan`] into [`Plan::bind`].
 ///
 /// With more than one thread, binding partitions the CSF root level
@@ -127,7 +174,12 @@ pub enum Engine {
 /// fixed thread count (and within ≤1e-9 of the serial path). The
 /// [`Engine`] choice is orthogonal: one compiled tape is shared by
 /// every worker thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The robustness fields ([`RunBudget`], `deadline`, `cancel`) gate
+/// and bound executions: the budget is enforced at bind time, the
+/// deadline and token are re-checked at every root-iteration
+/// checkpoint of every execution the plan's executors run.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecOptions {
     /// Threads the bound executor runs on.
     pub threads: Threads,
@@ -147,17 +199,33 @@ pub struct ExecOptions {
     /// variable (`auto` / `scalar`) overrides either. Interpreter
     /// executions always use the scalar kernels.
     pub microkernels: Microkernels,
+    /// Per-execution wall-clock limit, measured from each
+    /// `execute_into` call; expiry surfaces as
+    /// [`crate::SpttnError::Cancelled`] with the output contractually
+    /// untouched (re-execute to retry). `None` = no deadline.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation token checked alongside the deadline.
+    /// Clone the token before planning and call
+    /// [`CancelToken::cancel`] from any thread to stop in-flight
+    /// executions; [`CancelToken::reset`] re-arms it for retries.
+    pub cancel: Option<CancelToken>,
+    /// Bind-time admission budget (default: unlimited).
+    pub budget: RunBudget,
 }
 
 impl Default for ExecOptions {
     /// Serial execution — parallelism is opt-in, keeping default plans
-    /// byte-identical to previous releases — on the tape engine.
+    /// byte-identical to previous releases — on the tape engine, with
+    /// no deadline, token, or budget.
     fn default() -> Self {
         ExecOptions {
             threads: Threads::N(1),
             engine: Engine::Tape,
             verify: false,
             microkernels: Microkernels::Auto,
+            deadline: None,
+            cancel: None,
+            budget: RunBudget::default(),
         }
     }
 }
@@ -244,6 +312,29 @@ impl PlanOptions {
     /// [`crate::PlanCache`] hits like every [`ExecOptions`] field.
     pub fn with_microkernels(mut self, microkernels: Microkernels) -> Self {
         self.exec.microkernels = microkernels;
+        self
+    }
+
+    /// Set a per-execution wall-clock deadline (builder style). Every
+    /// execution of an executor bound from this plan is cancelled —
+    /// [`crate::SpttnError::Cancelled`], output untouched — once
+    /// `deadline` elapses from its own `execute_into` call.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.exec.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a cooperative [`CancelToken`] (builder style). Keep a
+    /// clone and call [`CancelToken::cancel`] from any thread to stop
+    /// in-flight executions at their next checkpoint.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.exec.cancel = Some(cancel);
+        self
+    }
+
+    /// Set the bind-time admission [`RunBudget`] (builder style).
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.exec.budget = budget;
         self
     }
 
@@ -971,7 +1062,7 @@ impl Plan {
             buffers,
             accumulate,
             profile: planned.profile,
-            exec: opts.exec,
+            exec: opts.exec.clone(),
             mode_order: planned.order,
             order_costs: planned.order_costs,
             flops: planned.flops,
@@ -990,7 +1081,7 @@ impl Plan {
 
     /// The execution options [`Plan::bind`] will apply.
     pub fn exec(&self) -> ExecOptions {
-        self.exec
+        self.exec.clone()
     }
 
     /// Preallocated workspace elements needed to execute this plan at

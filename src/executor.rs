@@ -25,8 +25,9 @@
 use crate::contraction::{Engine, Plan};
 use crate::{Result, SpttnError};
 use spttn_exec::{
-    execute_forest_into, execute_tape_into, validate_slotted_operands, CompiledTape,
-    ContractionOutput, ExecStats, OutputMut, ParallelExecutor, TapeReport, Workspace,
+    execute_forest_into_guarded, execute_tape_into_guarded, validate_slotted_operands,
+    CompiledTape, ContractionOutput, ExecStats, OutputMut, ParallelExecutor, RunGuard, TapeReport,
+    Workspace,
 };
 use spttn_tensor::{CooTensor, Csf, DenseTensor};
 use std::collections::HashMap;
@@ -228,16 +229,25 @@ fn run_parts(
     tape: &Option<Arc<CompiledTape>>,
     last_stats: &mut ExecStats,
     out: OutputMut<'_>,
+    guard: Option<&RunGuard>,
 ) -> Result<()> {
     let res = match par.as_mut() {
         // The parallel engine carries its own tape (shared program,
         // per-tile state) when one was compiled at bind.
-        Some(engine) => {
-            engine.execute_into(&plan.kernel, &plan.path, &plan.forest, csf, factors, out)
-        }
+        Some(engine) => engine.execute_into_guarded(
+            &plan.kernel,
+            &plan.path,
+            &plan.forest,
+            csf,
+            factors,
+            out,
+            guard,
+        ),
         None => match tape {
-            Some(t) => execute_tape_into(t, &plan.kernel, csf, factors, workspace, out),
-            None => execute_forest_into(
+            Some(t) => {
+                execute_tape_into_guarded(t, &plan.kernel, csf, factors, workspace, out, guard)
+            }
+            None => execute_forest_into_guarded(
                 &plan.kernel,
                 &plan.path,
                 &plan.forest,
@@ -245,6 +255,7 @@ fn run_parts(
                 factors,
                 workspace,
                 out,
+                guard,
             ),
         },
     };
@@ -257,6 +268,33 @@ fn run_parts(
     res
 }
 
+/// Bind-time workspace admission under
+/// [`RunBudget::max_workspace_bytes`](crate::RunBudget): find the
+/// largest thread count `t ≤ requested` whose replicated Eq.-5
+/// footprint ([`Plan::parallel_footprint`] × 8 bytes) fits the budget.
+/// Degradation is graceful — fewer threads first, down to the serial
+/// path — and only when even one thread's workspace exceeds the budget
+/// does binding fail with a typed [`SpttnError::BudgetExceeded`]
+/// reporting predicted vs allowed bytes.
+fn admit_threads(plan: &Plan, requested: usize, max_bytes: Option<u64>) -> Result<usize> {
+    let Some(max) = max_bytes else {
+        return Ok(requested);
+    };
+    let bytes = |t: usize| plan.parallel_footprint(t).saturating_mul(8);
+    let mut t = requested.max(1);
+    while t > 1 && bytes(t) > u128::from(max) {
+        t -= 1;
+    }
+    if bytes(t) > u128::from(max) {
+        return Err(SpttnError::BudgetExceeded {
+            resource: "workspace bytes",
+            predicted: bytes(1),
+            allowed: u128::from(max),
+        });
+    }
+    Ok(t)
+}
+
 impl Executor {
     fn new(
         plan: Plan,
@@ -264,6 +302,25 @@ impl Executor {
         leaf_perm: Option<Vec<usize>>,
         compact: Vec<DenseTensor>,
     ) -> Result<Executor> {
+        // Budget admission runs before any binding work: a plan the
+        // budget rejects must not allocate workspaces or spawn a pool.
+        // Flops are structural (no degradation can lower them), so they
+        // gate first; the workspace check then degrades the thread
+        // count before giving up.
+        if let Some(max) = plan.exec.budget.max_modeled_flops {
+            if plan.flops > max {
+                return Err(SpttnError::BudgetExceeded {
+                    resource: "modeled flops",
+                    predicted: plan.flops,
+                    allowed: max,
+                });
+            }
+        }
+        let threads = admit_threads(
+            &plan,
+            plan.exec.threads.resolve(),
+            plan.exec.budget.max_workspace_bytes,
+        )?;
         let kernel = &plan.kernel;
         let n_dense = kernel.inputs.len() - 1;
         if compact.len() != n_dense {
@@ -312,10 +369,9 @@ impl Executor {
             }
             Engine::Interp => None,
         };
-        // Parallel engine: only when the plan asks for >1 thread and the
-        // tensor actually splits (a single tile would duplicate the
-        // serial path with extra copies).
-        let threads = plan.exec.threads.resolve();
+        // Parallel engine: only when the admitted thread count is >1
+        // and the tensor actually splits (a single tile would duplicate
+        // the serial path with extra copies).
         let par = if threads > 1 {
             let mut engine = ParallelExecutor::new(
                 kernel,
@@ -450,7 +506,31 @@ impl Executor {
     /// For a plain `=` plan the output is zeroed first; for a `+=` plan
     /// (see [`crate::Contraction::with_accumulate`]) the contraction is
     /// accumulated on top of the output's existing values.
+    ///
+    /// When the plan's [`crate::ExecOptions`] carry a cancel token or a
+    /// deadline, execution checks them at every root-subtree boundary
+    /// and returns [`SpttnError::Cancelled`] instead of a partial
+    /// result (the output is left in an unspecified partially-written
+    /// state; re-zero or start from a fresh template before retrying a
+    /// `+=` plan).
     pub fn execute_into(&mut self, out: &mut ContractionOutput) -> Result<()> {
+        // The deadline clock starts here, at the execution boundary —
+        // not at bind. Guard construction is allocation-free (an `Arc`
+        // clone of the token at most), preserving the zero-allocation
+        // contract of the hot path.
+        let guard = RunGuard::new(self.plan.exec.cancel.clone(), self.plan.exec.deadline);
+        self.execute_into_guarded(out, Some(&guard))
+    }
+
+    /// [`Executor::execute_into`] with a caller-supplied [`RunGuard`]
+    /// instead of one built from the plan's options — the hook
+    /// `spttn-net` uses to share one network-wide deadline across every
+    /// contraction step. `None` runs unguarded.
+    pub fn execute_into_guarded(
+        &mut self,
+        out: &mut ContractionOutput,
+        guard: Option<&RunGuard>,
+    ) -> Result<()> {
         let Executor {
             plan,
             csf,
@@ -485,6 +565,7 @@ impl Executor {
                     tape,
                     last_stats,
                     OutputMut::Dense(d),
+                    guard,
                 )
             }
             ContractionOutput::Sparse(c) => {
@@ -521,6 +602,7 @@ impl Executor {
                     tape,
                     last_stats,
                     OutputMut::Sparse(c.vals_mut()),
+                    guard,
                 )
             }
         }
@@ -530,6 +612,8 @@ impl Executor {
     /// semantics: the result starts from zero). Allocates only for the
     /// returned value; prefer [`Executor::execute_into`] in hot loops.
     pub fn execute(&mut self) -> Result<ContractionOutput> {
+        let guard = RunGuard::new(self.plan.exec.cancel.clone(), self.plan.exec.deadline);
+        let guard = Some(&guard);
         let Executor {
             plan,
             csf,
@@ -553,6 +637,7 @@ impl Executor {
                 tape,
                 last_stats,
                 OutputMut::Sparse(out_vals),
+                guard,
             )?;
             let coo = self
                 .coo_template
@@ -571,6 +656,7 @@ impl Executor {
                 tape,
                 last_stats,
                 OutputMut::Dense(out_dense),
+                guard,
             )?;
             Ok(ContractionOutput::Dense(self.out_dense.clone()))
         }

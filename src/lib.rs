@@ -81,13 +81,14 @@ pub mod executor;
 
 pub use cache::{PlanCache, PlanKey};
 pub use contraction::{
-    Contraction, CostModel, Engine, ExecOptions, Plan, PlanOptions, Shapes, Threads,
+    Contraction, CostModel, Engine, ExecOptions, Plan, PlanOptions, RunBudget, Shapes, Threads,
 };
 pub use executor::Executor;
 pub use spttn_core::{Result, Scalar, SpttnError};
 pub use spttn_cost::{ModeOrderPolicy, OrderCost};
 pub use spttn_exec::{
-    CompiledTape, ContractionOutput, ExecStats, Microkernels, TapeInvariantError, TapeReport,
+    CancelToken, CompiledTape, ContractionOutput, ExecStats, Microkernels, RunGuard,
+    TapeInvariantError, TapeReport,
 };
 
 /// Cost models and loop-order search (re-export of `spttn-cost`).

@@ -1,0 +1,128 @@
+//! Cancellation determinism: a cancelled-then-retried executor must
+//! produce output **bitwise identical** to a fresh, never-cancelled
+//! run — cancellation may leave no sticky state in workspaces, pool
+//! workers, or outputs. Asserted for the kernel executor at 1 and 4
+//! threads (token and deadline variants) and for the network executor.
+
+use rand::prelude::*;
+use spttn::tensor::{random_coo, random_dense, Csf, DenseTensor, SparsityProfile};
+use spttn::{
+    CancelToken, Contraction, ContractionOutput, Microkernels, PlanOptions, Shapes, SpttnError,
+    Threads,
+};
+use spttn_net::{NetOptions, Network};
+use std::time::Duration;
+
+const EXPR: &str = "T[i,j,k]*A[j,r]*B[k,r]->O[i,r]";
+
+fn bits(out: &ContractionOutput) -> Vec<u64> {
+    match out {
+        ContractionOutput::Dense(d) => d.as_slice().iter().map(|v| v.to_bits()).collect(),
+        ContractionOutput::Sparse(c) => c.vals().iter().map(|v| v.to_bits()).collect(),
+    }
+}
+
+#[test]
+fn cancelled_then_retried_is_bitwise_identical_to_fresh() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let coo = random_coo(&[24, 16, 18], 500, &mut rng).unwrap();
+    let csf = Csf::from_coo(&coo, &[0, 1, 2]).unwrap();
+    let a = random_dense(&[16, 6], &mut rng);
+    let b = random_dense(&[18, 6], &mut rng);
+    let factors: Vec<(&str, &DenseTensor)> = vec![("A", &a), ("B", &b)];
+    let shapes = Shapes::new()
+        .with_dims(&[("i", 24), ("j", 16), ("k", 18), ("r", 6)])
+        .with_profile(SparsityProfile::from_csf(&csf));
+
+    for threads in [1usize, 4] {
+        let base = PlanOptions::default()
+            .with_threads(Threads::N(threads))
+            .with_microkernels(Microkernels::Scalar);
+
+        // Fresh, never-cancelled reference at this thread count.
+        let plan = Contraction::parse(EXPR)
+            .unwrap()
+            .plan(&shapes, &base)
+            .unwrap();
+        let mut fresh = plan.bind(csf.clone(), &factors).unwrap();
+        let want = bits(&fresh.execute().unwrap());
+
+        // Token variant: cancel before execute, then reset and retry on
+        // the SAME executor.
+        let tok = CancelToken::new();
+        let plan = Contraction::parse(EXPR)
+            .unwrap()
+            .plan(&shapes, &base.clone().with_cancel(tok.clone()))
+            .unwrap();
+        let mut exec = plan.bind(csf.clone(), &factors).unwrap();
+        tok.cancel();
+        match exec.execute() {
+            Err(SpttnError::Cancelled { .. }) => {}
+            other => panic!("{threads} thread(s): expected Cancelled, got {other:?}"),
+        }
+        tok.reset();
+        let got = bits(&exec.execute().unwrap());
+        assert_eq!(
+            got, want,
+            "{threads} thread(s): retry after token cancel must be bitwise identical"
+        );
+
+        // Deadline variant: an expired deadline cancels; a fresh
+        // executor without one reproduces the reference bitwise.
+        let plan = Contraction::parse(EXPR)
+            .unwrap()
+            .plan(&shapes, &base.clone().with_deadline(Duration::ZERO))
+            .unwrap();
+        let mut exec = plan.bind(csf.clone(), &factors).unwrap();
+        assert!(
+            matches!(exec.execute(), Err(SpttnError::Cancelled { .. })),
+            "{threads} thread(s): zero deadline must cancel"
+        );
+        let plan = Contraction::parse(EXPR)
+            .unwrap()
+            .plan(&shapes, &base)
+            .unwrap();
+        let mut exec = plan.bind(csf.clone(), &factors).unwrap();
+        assert_eq!(
+            bits(&exec.execute().unwrap()),
+            want,
+            "{threads} thread(s): run after deadline rejection must be bitwise identical"
+        );
+    }
+}
+
+#[test]
+fn network_cancel_then_retry_is_bitwise_identical() {
+    let mut rng = StdRng::seed_from_u64(29);
+    let coo = random_coo(&[30, 20], 350, &mut rng).unwrap();
+    let csf = Csf::from_coo(&coo, &[0, 1]).unwrap();
+    let d1 = random_dense(&[20, 4], &mut rng);
+    let d2 = random_dense(&[4, 5], &mut rng);
+    let net = Network::parse("T[i,j]*D1[j,m]*D2[m,r]->O[i,r]").unwrap();
+    let shapes = Shapes::new()
+        .with_dims(&[("i", 30), ("j", 20), ("m", 4), ("r", 5)])
+        .with_profile(SparsityProfile::from_csf(&csf));
+
+    let tok = CancelToken::new();
+    let popts = PlanOptions::default()
+        .with_microkernels(Microkernels::Scalar)
+        .with_cancel(tok.clone());
+    let nplan = net
+        .plan(&shapes, &NetOptions::default().with_plan_options(popts))
+        .unwrap();
+    assert!(nplan.num_dense_steps() >= 1, "fixture must exercise steps");
+    let mut exec = nplan.bind(csf, &[("D1", &d1), ("D2", &d2)]).unwrap();
+
+    let want = bits(&exec.execute().unwrap());
+    tok.cancel();
+    match exec.execute() {
+        Err(SpttnError::Cancelled { phase, .. }) => assert_eq!(phase, "network"),
+        other => panic!("expected network Cancelled, got {other:?}"),
+    }
+    tok.reset();
+    assert_eq!(
+        bits(&exec.execute().unwrap()),
+        want,
+        "network retry after cancel must be bitwise identical"
+    );
+}

@@ -268,3 +268,57 @@ fn pooled_executors_move_and_reuse_across_threads() {
     let err = other.bind_pooled(&pool, fx.csf.clone(), &fx.named()[..1]);
     assert!(err.is_err(), "foreign pool must be rejected");
 }
+
+#[test]
+fn cancelled_execution_never_recycles_dirty_workspaces() {
+    // Regression: a pooled executor that errored or was cancelled
+    // mid-execution must not check its intermediates back in as clean —
+    // the next checkout would receive a partially-written workspace.
+    // The drop path scrubs dirty sets to zero.
+    let expr = "T[i,j]*D1[j,m]*D2[m,r] -> O[i,r]";
+    let dims: &[(&str, usize)] = &[("i", 20), ("j", 15), ("m", 4), ("r", 6)];
+    let fx = Fixture::new(expr, dims, &[20, 15], 120, 61);
+    let tok = spttn::CancelToken::new();
+    let nplan = fx
+        .net
+        .plan(
+            &fx.shapes,
+            &NetOptions::default()
+                .with_plan_options(PlanOptions::default().with_cancel(tok.clone())),
+        )
+        .unwrap();
+    assert!(
+        nplan.num_dense_steps() >= 1,
+        "fixture must have intermediates"
+    );
+    let pool = Arc::new(nplan.pool());
+
+    {
+        let mut exec = nplan
+            .bind_pooled(&pool, fx.csf.clone(), &fx.named())
+            .unwrap();
+        // A successful run fills the intermediates with nonzero values…
+        let got = exec.execute().unwrap();
+        assert!(got.to_dense().approx_eq(&fx.want, TOL));
+        // …then a cancelled attempt leaves them (from the cancelled
+        // run's perspective) partially written.
+        tok.cancel();
+        assert!(exec.execute().is_err(), "cancelled run must error");
+        // Drop checks the set back into the pool.
+    }
+    tok.reset();
+    assert_eq!(pool.available(), 1, "the set must still be pooled");
+    let set = pool.checkout();
+    assert!(
+        set.iter().all(|t| t.as_slice().iter().all(|&v| v == 0.0)),
+        "a workspace recycled after a cancelled execution must be scrubbed to zero"
+    );
+    pool.checkin(set);
+
+    // Sanity: a fresh pooled bind on the scrubbed set still computes
+    // the right answer.
+    let mut exec = nplan
+        .bind_pooled(&pool, fx.csf.clone(), &fx.named())
+        .unwrap();
+    assert!(exec.execute().unwrap().to_dense().approx_eq(&fx.want, TOL));
+}
